@@ -1,0 +1,46 @@
+// Ablation: DMB capacity sweep and LRU-vs-FIFO eviction. The paper
+// fixes a 256 KB unified buffer (Table III); this sweep shows the
+// sensitivity of each dataflow to the buffer size and the value of
+// recency-aware eviction.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hymm;
+  bench::print_header("DMB capacity / eviction-policy sweep",
+                      "design-space ablation of Table III");
+
+  const std::vector<std::size_t> sizes_kb = {32, 64, 128, 256, 512, 1024};
+  Table table({"Dataset", "DMB", "Policy", "OP cycles", "RWP cycles",
+               "HyMM cycles", "HyMM hit"});
+  for (const DatasetSpec& spec : bench::selected_datasets()) {
+    if (std::getenv("HYMM_DATASETS") == nullptr && spec.abbrev != "AP") {
+      continue;
+    }
+    for (const std::size_t kb : sizes_kb) {
+      for (const EvictionPolicy policy :
+           {EvictionPolicy::kLru, EvictionPolicy::kFifo}) {
+        AcceleratorConfig config;
+        config.dmb_bytes = kb * 1024;
+        config.eviction_policy = policy;
+        const DataflowComparison cmp = bench::run_dataset(spec, config);
+        bench::check_verified(cmp);
+        table.add_row(
+            {bench::scale_note(cmp), std::to_string(kb) + "KB",
+             to_string(policy),
+             std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
+             std::to_string(
+                 cmp.by_flow(Dataflow::kRowWiseProduct).cycles),
+             std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles),
+             Table::fmt_percent(
+                 cmp.by_flow(Dataflow::kHybrid).dmb_hit_rate, 1)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: HyMM keeps most of its advantage down to "
+               "small buffers (tiling adapts region sizes); LRU beats FIFO "
+               "most where the XW working set barely exceeds capacity.\n";
+  return 0;
+}

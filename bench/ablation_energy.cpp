@@ -1,0 +1,49 @@
+// Extension: counter-driven energy estimate per dataflow. The paper
+// reports area only, but its baselines (GCNAX, GROW) are energy
+// papers; this bench folds each run's counters through the
+// coefficient model of src/model/energy.hpp. Expect the DRAM column
+// to dominate the OP baseline (spill traffic) and HyMM to be the
+// most efficient overall.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/energy.hpp"
+
+int main() {
+  using namespace hymm;
+  bench::print_header("Energy estimate per dataflow",
+                      "extension (coefficient model, see energy.hpp)");
+
+  const AcceleratorConfig config;
+  Table table({"Dataset", "Flow", "PE", "DMB", "DRAM", "Other", "Total",
+               "Avg power", "vs OP"});
+  for (const DatasetSpec& spec : bench::selected_datasets()) {
+    const DataflowComparison cmp = bench::run_dataset(spec, config);
+    bench::check_verified(cmp);
+    const EnergyReport op_energy = estimate_energy(
+        cmp.by_flow(Dataflow::kOuterProduct).stats, config);
+    for (const ExperimentResult& r : cmp.results) {
+      const EnergyReport e = estimate_energy(r.stats, config);
+      double pe = 0, dmb = 0, dram = 0, other = 0;
+      for (const ComponentEnergy& c : e.components) {
+        if (c.name == "PE Array") pe = c.energy_uj;
+        else if (c.name == "DMB") dmb = c.energy_uj;
+        else if (c.name == "DRAM") dram = c.energy_uj;
+        else other += c.energy_uj;
+      }
+      table.add_row(
+          {bench::scale_note(cmp), to_string(r.flow),
+           Table::fmt(pe, 1) + "uJ", Table::fmt(dmb, 1) + "uJ",
+           Table::fmt(dram, 1) + "uJ", Table::fmt(other, 1) + "uJ",
+           Table::fmt(e.total_uj, 1) + "uJ",
+           Table::fmt(e.average_power_w(config.clock_ghz, r.cycles), 2) +
+               "W",
+           Table::fmt_percent(1.0 - e.total_uj / op_energy.total_uj, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCoefficients are order-of-magnitude 40nm estimates "
+               "(energy.hpp documents them); the per-dataflow *ratios* "
+               "are the meaningful output.\n";
+  return 0;
+}

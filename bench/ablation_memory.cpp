@@ -1,0 +1,69 @@
+// Ablation: memory-system micro-parameters the paper leaves implicit
+// — MSHR count (random-miss parallelism), OP stationary-row prefetch
+// depth (sequential-stream coverage) and DRAM write-buffer depth
+// (spill back-pressure). Shows which mechanism each dataflow's
+// performance actually leans on.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace hymm;
+  bench::print_header("Memory-system parameter sweeps",
+                      "modeling ablation (Sections IV-B/IV-D)");
+
+  const DatasetSpec spec = *find_dataset("AP");
+
+  std::cout << "-- MSHR count (miss-level parallelism) --\n";
+  Table mshr_table({"MSHRs", "OP cycles", "RWP cycles", "HyMM cycles"});
+  for (const std::size_t mshrs : {4u, 8u, 16u, 32u, 64u}) {
+    AcceleratorConfig config;
+    config.dmb_mshr_entries = mshrs;
+    const DataflowComparison cmp = bench::run_dataset(spec, config);
+    bench::check_verified(cmp);
+    mshr_table.add_row(
+        {std::to_string(mshrs),
+         std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
+         std::to_string(cmp.by_flow(Dataflow::kRowWiseProduct).cycles),
+         std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles)});
+  }
+  mshr_table.print(std::cout);
+
+  std::cout << "\n-- OP stationary-row prefetch depth --\n";
+  Table pf_table({"Depth", "OP cycles", "HyMM cycles"});
+  for (const std::size_t depth : {0u, 16u, 64u, 128u, 256u}) {
+    AcceleratorConfig config;
+    config.op_prefetch_columns = depth;
+    const DataflowComparison cmp = bench::run_dataset(
+        spec, config, {Dataflow::kOuterProduct, Dataflow::kHybrid});
+    bench::check_verified(cmp);
+    pf_table.add_row(
+        {std::to_string(depth),
+         std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
+         std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles)});
+  }
+  pf_table.print(std::cout);
+
+  std::cout << "\n-- DRAM write-buffer depth (spill back-pressure) --\n";
+  Table wb_table({"Lines", "OP cycles", "OP util", "HyMM cycles"});
+  for (const std::size_t lines : {8u, 32u, 64u, 256u}) {
+    AcceleratorConfig config;
+    config.dram_write_buffer_lines = lines;
+    const DataflowComparison cmp = bench::run_dataset(
+        spec, config, {Dataflow::kOuterProduct, Dataflow::kHybrid});
+    bench::check_verified(cmp);
+    const auto& op = cmp.by_flow(Dataflow::kOuterProduct);
+    wb_table.add_row({std::to_string(lines), std::to_string(op.cycles),
+                      Table::fmt_percent(op.alu_utilization, 1),
+                      std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles)});
+  }
+  wb_table.print(std::cout);
+
+  std::cout << "\nReading: RWP leans hard on MSHRs (its XW reads are "
+               "random); HyMM is mildly sensitive to MSHRs and the "
+               "prefetch depth (regions 2/3 still issue random reads); "
+               "the OP baseline barely moves on this workload because its "
+               "runtime is pinned by the serial spill-merge pass, not by "
+               "read-side parallelism.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every binary simulates the paper's seven workloads (Table II) under
+// the dataflows it needs and prints the rows/series of one table or
+// figure. Environment knobs:
+//   HYMM_DATASETS=CR,AP       run a subset (abbreviations)
+//   HYMM_FULL_DATASETS=1      simulate Flickr/Yelp at full size
+//   HYMM_SCALE=0.1            override the scale for every dataset
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/runner.hpp"
+#include "graph/datasets.hpp"
+
+namespace hymm::bench {
+
+inline std::vector<DatasetSpec> selected_datasets() {
+  std::vector<DatasetSpec> selected;
+  const char* filter = std::getenv("HYMM_DATASETS");
+  if (filter == nullptr) return paper_datasets();
+  std::stringstream ss(filter);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (const auto spec = find_dataset(token)) selected.push_back(*spec);
+  }
+  return selected.empty() ? paper_datasets() : selected;
+}
+
+inline double scale_for(const DatasetSpec& spec) {
+  if (const char* s = std::getenv("HYMM_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return default_scale(spec);
+}
+
+// Runs the three-dataflow comparison for one dataset at its bench
+// scale, announcing progress on stderr (the tables go to stdout).
+inline DataflowComparison run_dataset(
+    const DatasetSpec& spec,
+    const AcceleratorConfig& config = AcceleratorConfig{},
+    const std::vector<Dataflow>& flows = {Dataflow::kOuterProduct,
+                                          Dataflow::kRowWiseProduct,
+                                          Dataflow::kHybrid}) {
+  const double scale = scale_for(spec);
+  std::cerr << "[bench] simulating " << spec.abbrev << " at scale " << scale
+            << " ..." << std::endl;
+  return compare_dataflows(spec, config, flows, scale);
+}
+
+inline std::string scale_note(const DataflowComparison& comparison) {
+  if (comparison.scale == 1.0) return comparison.spec.abbrev;
+  std::ostringstream oss;
+  oss << comparison.spec.abbrev << " (x" << comparison.scale << ")";
+  return oss.str();
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "== " << title << " ==\n"
+            << "   reproduces: " << paper_ref << "\n"
+            << "   (synthetic workloads; compare shapes, not absolute "
+               "values — see EXPERIMENTS.md)\n\n";
+}
+
+// Warns when a dataflow run failed functional verification.
+inline void check_verified(const DataflowComparison& comparison) {
+  for (const ExperimentResult& r : comparison.results) {
+    if (!r.verified) {
+      std::cerr << "[bench] WARNING: " << r.abbrev << "/"
+                << to_string(r.flow)
+                << " failed functional verification (max err "
+                << r.max_abs_err << ")\n";
+    }
+  }
+}
+
+}  // namespace hymm::bench

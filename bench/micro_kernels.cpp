@@ -1,0 +1,110 @@
+// google-benchmark microbenches of the host-side kernels: format
+// conversions, generators, reference SpDeMM and the preprocessing
+// steps whose wall-clock cost Table II reports.
+#include <benchmark/benchmark.h>
+
+#include "graph/datasets.hpp"
+#include "graph/degree_sort.hpp"
+#include "graph/generator.hpp"
+#include "graph/partition.hpp"
+#include "linalg/gcn.hpp"
+#include "linalg/spdemm.hpp"
+
+namespace hymm {
+namespace {
+
+CsrMatrix bench_graph(NodeId nodes, EdgeCount edges) {
+  GraphSpec spec;
+  spec.nodes = nodes;
+  spec.edges = edges;
+  spec.seed = 7;
+  return generate_power_law_graph(spec);
+}
+
+void BM_GeneratePowerLawGraph(benchmark::State& state) {
+  const auto nodes = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench_graph(nodes, nodes * 8));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * 8);
+}
+BENCHMARK(BM_GeneratePowerLawGraph)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DegreeSort(benchmark::State& state) {
+  const auto nodes = static_cast<NodeId>(state.range(0));
+  const CsrMatrix a = bench_graph(nodes, nodes * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degree_sort(a));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_DegreeSort)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_CsrTranspose(benchmark::State& state) {
+  const CsrMatrix a =
+      bench_graph(static_cast<NodeId>(state.range(0)), state.range(0) * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.transpose());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_CsrTranspose)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_SpdemmRowWise(benchmark::State& state) {
+  const auto nodes = static_cast<NodeId>(state.range(0));
+  const CsrMatrix a = bench_graph(nodes, nodes * 8);
+  const DenseMatrix b = DenseMatrix::random(nodes, 16, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spdemm_row_wise(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 16);
+}
+BENCHMARK(BM_SpdemmRowWise)->Arg(1000)->Arg(10000);
+
+void BM_SpdemmOuter(benchmark::State& state) {
+  const auto nodes = static_cast<NodeId>(state.range(0));
+  const CscMatrix a = CscMatrix::from_csr(bench_graph(nodes, nodes * 8));
+  const DenseMatrix b = DenseMatrix::random(nodes, 16, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spdemm_outer(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 16);
+}
+BENCHMARK(BM_SpdemmOuter)->Arg(1000)->Arg(10000);
+
+void BM_NormalizeAdjacency(benchmark::State& state) {
+  const CsrMatrix a =
+      bench_graph(static_cast<NodeId>(state.range(0)), state.range(0) * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normalize_adjacency(a));
+  }
+}
+BENCHMARK(BM_NormalizeAdjacency)->Arg(1000)->Arg(10000);
+
+void BM_PartitionAndTile(benchmark::State& state) {
+  const CsrMatrix sorted =
+      degree_sort(
+          bench_graph(static_cast<NodeId>(state.range(0)), state.range(0) * 8))
+          .sorted;
+  const AcceleratorConfig config;
+  for (auto _ : state) {
+    const RegionPartition p = partition_regions(sorted, config);
+    benchmark::DoNotOptimize(TiledAdjacency::build(sorted, p));
+  }
+}
+BENCHMARK(BM_PartitionAndTile)->Arg(1000)->Arg(10000);
+
+void BM_GenerateFeatures(benchmark::State& state) {
+  FeatureSpec spec;
+  spec.nodes = static_cast<NodeId>(state.range(0));
+  spec.feature_length = 745;
+  spec.density = 0.35;
+  spec.seed = 11;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_features(spec));
+  }
+}
+BENCHMARK(BM_GenerateFeatures)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace hymm

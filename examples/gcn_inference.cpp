@@ -1,0 +1,63 @@
+// Full two-layer GCN inference (the classic Kipf-Welling shape) on a
+// Cora-like workload, using the GcnModel API: each layer's SpDeMM
+// pair runs on the simulated hardware, ReLU and re-sparsification
+// happen on the host between layers, and the final output is verified
+// end-to-end against the host reference.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/gcn_model.hpp"
+#include "graph/datasets.hpp"
+#include "linalg/gcn.hpp"
+
+int main() {
+  using namespace hymm;
+
+  // Cora at quarter scale keeps this example under a second.
+  const DatasetSpec cora = *find_dataset("CR");
+  const GcnWorkload workload = build_workload(cora, /*scale=*/0.25);
+  const CsrMatrix a_hat = normalize_adjacency(workload.adjacency);
+
+  // Layer dims: feature_length -> 16 -> 7 (Cora has 7 classes).
+  const GcnModel model = GcnModel::with_random_weights(
+      a_hat, workload.spec.feature_length, {16, 7}, /*seed=*/10);
+
+  std::cout << "Two-layer GCN inference on " << workload.spec.name << " (x"
+            << workload.scale << " scale, " << workload.spec.nodes
+            << " nodes, dims " << workload.spec.feature_length
+            << " -> 16 -> 7)\n\n";
+
+  Table table({"Dataflow", "Total cycles", "Runtime @1GHz", "DRAM",
+               "Degree-sort cost", "Verified"});
+  for (const Dataflow flow : {Dataflow::kOuterProduct,
+                              Dataflow::kRowWiseProduct, Dataflow::kHybrid}) {
+    const GcnModel::InferenceResult result =
+        model.run(flow, workload.features, AcceleratorConfig{});
+    table.add_row(
+        {to_string(flow), std::to_string(result.total_cycles),
+         Table::fmt(result.runtime_ms(), 3) + "ms",
+         Table::fmt_bytes(static_cast<double>(result.total_dram_bytes)),
+         result.total_preprocess_ms > 0
+             ? Table::fmt(result.total_preprocess_ms, 2) + "ms"
+             : "-",
+         result.verified ? "yes" : "NO"});
+
+    std::cout << to_string(flow) << " per-layer breakdown:\n";
+    for (std::size_t l = 0; l < result.layers.size(); ++l) {
+      const LayerRunResult& layer = result.layers[l];
+      std::cout << "  layer " << l + 1 << ": " << layer.stats.cycles
+                << " cycles (combination "
+                << layer.combination_stats.cycles << ", aggregation "
+                << layer.aggregation_stats.cycles << "), ALU "
+                << Table::fmt_percent(layer.stats.alu_utilization(), 1)
+                << ", max |err| " << result.max_abs_err << "\n";
+    }
+    std::cout << '\n';
+  }
+  table.print(std::cout);
+  std::cout << "\nNote how layer 2 (dense 16-wide input, tiny weight "
+               "matrix) costs far less than layer 1 and shifts the "
+               "bottleneck to aggregation — the regime where the hybrid "
+               "dataflow matters most.\n";
+  return 0;
+}

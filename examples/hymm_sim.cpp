@@ -1,0 +1,168 @@
+// Command-line simulator driver: run any Table II workload (or your
+// own edge list) under any dataflow and configuration, and dump the
+// full statistics report.
+//
+//   hymm_sim --dataset AP --flow hymm --scale 0.5
+//   hymm_sim --edge-list graph.txt --features feats.txt --flow rwp
+//   hymm_sim --dataset AC --dmb-kb 512 --tiling 0.1 --csv out.csv
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "graph/generator.hpp"
+#include "graph/io.hpp"
+#include "linalg/gcn.hpp"
+
+namespace {
+
+using namespace hymm;
+
+void usage() {
+  std::cout <<
+      "hymm_sim — HyMM cycle-level simulator driver\n"
+      "\n"
+      "Workload (pick one):\n"
+      "  --dataset <CR|AP|AC|CS|PH|FR|YP>   Table II synthetic workload\n"
+      "  --edge-list <file>                 0-based 'src dst [w]' lines\n"
+      "Options:\n"
+      "  --features <file>    %%HyMMSparse feature matrix (edge-list mode)\n"
+      "  --flow <op|rwp|hymm|all>           dataflow (default: all)\n"
+      "  --scale <0..1>       dataset scale (default: bench default)\n"
+      "  --seed <n>           workload seed (default 42)\n"
+      "  --dmb-kb <n>         DMB capacity in KB (default 256)\n"
+      "  --tiling <0..1>      tiling threshold (default 0.2)\n"
+      "  --fifo               FIFO eviction instead of LRU\n"
+      "  --no-accumulator     disable the near-memory accumulator\n"
+      "  --csv <file>         append machine-readable results\n";
+}
+
+std::optional<Dataflow> parse_flow(const std::string& s) {
+  if (s == "op") return Dataflow::kOuterProduct;
+  if (s == "rwp") return Dataflow::kRowWiseProduct;
+  if (s == "hymm") return Dataflow::kHybrid;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hymm;
+  std::string dataset, edge_list, features_path, flow_arg = "all", csv_path;
+  double scale = -1.0;
+  std::uint64_t seed = 42;
+  AcceleratorConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dataset") dataset = next();
+    else if (arg == "--edge-list") edge_list = next();
+    else if (arg == "--features") features_path = next();
+    else if (arg == "--flow") flow_arg = next();
+    else if (arg == "--scale") scale = std::atof(next());
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--dmb-kb") config.dmb_bytes = std::strtoull(next(), nullptr, 10) * 1024;
+    else if (arg == "--tiling") config.tiling_threshold = std::atof(next());
+    else if (arg == "--fifo") config.eviction_policy = EvictionPolicy::kFifo;
+    else if (arg == "--no-accumulator") config.near_memory_accumulator = false;
+    else if (arg == "--csv") csv_path = next();
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else {
+      std::cerr << "unknown argument " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<Dataflow> flows;
+  if (flow_arg == "all") {
+    flows = {Dataflow::kOuterProduct, Dataflow::kRowWiseProduct,
+             Dataflow::kHybrid};
+  } else if (const auto f = parse_flow(flow_arg)) {
+    flows = {*f};
+  } else {
+    std::cerr << "unknown dataflow '" << flow_arg << "'\n";
+    return 2;
+  }
+
+  // --- Build the workload ---
+  GcnWorkload workload;
+  if (!dataset.empty()) {
+    const auto spec = find_dataset(dataset);
+    if (!spec) {
+      std::cerr << "unknown dataset '" << dataset << "'\n";
+      return 2;
+    }
+    const double effective = scale > 0 ? scale : default_scale(*spec);
+    workload = build_workload(*spec, effective, seed);
+  } else if (!edge_list.empty()) {
+    EdgeListOptions options;
+    options.symmetrize = true;
+    options.drop_self_loops = true;
+    workload.adjacency = load_edge_list_file(edge_list, options);
+    workload.spec.name = edge_list;
+    workload.spec.abbrev = "custom";
+    workload.spec.nodes = workload.adjacency.rows();
+    workload.spec.edges = workload.adjacency.nnz();
+    workload.spec.layer_dim = 16;
+    if (!features_path.empty()) {
+      workload.features = load_sparse_matrix_file(features_path);
+      if (workload.features.rows() != workload.adjacency.rows()) {
+        std::cerr << "feature rows != graph nodes\n";
+        return 2;
+      }
+    } else {
+      FeatureSpec fspec;
+      fspec.nodes = workload.spec.nodes;
+      fspec.feature_length = 128;
+      fspec.density = 0.2;
+      fspec.seed = seed + 1;
+      workload.features = generate_features(fspec);
+    }
+    workload.spec.feature_length = workload.features.cols();
+  } else {
+    usage();
+    return 2;
+  }
+
+  std::cout << "Workload: " << workload.spec.name << " — "
+            << workload.spec.nodes << " nodes, "
+            << workload.adjacency.nnz() << " edges, "
+            << workload.features.cols() << " features\n\n";
+
+  const CsrMatrix a_hat = normalize_adjacency(workload.adjacency);
+  const DenseMatrix weights = DenseMatrix::random(
+      workload.features.cols(), workload.spec.layer_dim, seed + 7);
+  const GcnLayerResult golden =
+      gcn_layer_reference(a_hat, workload.features, weights, false);
+
+  std::vector<ExperimentResult> results;
+  for (const Dataflow flow : flows) {
+    const ExperimentResult r = run_experiment(
+        workload, a_hat, weights, golden.aggregation, flow, config);
+    std::cout << to_string(flow) << " ("
+              << (r.verified ? "verified" : "MISMATCH")
+              << ", max err " << r.max_abs_err << ")\n";
+    print_stats_summary(r.stats, std::cout);
+    std::cout << '\n';
+    results.push_back(r);
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    write_results_csv(results, csv);
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  return 0;
+}

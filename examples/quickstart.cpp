@@ -1,0 +1,63 @@
+// Quickstart: build a small power-law graph, run one GCN layer on the
+// HyMM accelerator model, and print what happened.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/accelerator.hpp"
+#include "graph/generator.hpp"
+#include "linalg/gcn.hpp"
+
+int main() {
+  using namespace hymm;
+
+  // 1. A synthetic social-network-like graph: 1000 nodes, power-law
+  //    degrees (a few hubs, a long tail).
+  GraphSpec graph_spec;
+  graph_spec.nodes = 1000;
+  graph_spec.edges = 8000;
+  graph_spec.seed = 1;
+  const CsrMatrix adjacency = generate_power_law_graph(graph_spec);
+  const CsrMatrix a_hat = normalize_adjacency(adjacency);
+
+  // 2. Sparse node features (64 features, 20% populated) and a dense
+  //    weight matrix mapping them to a 16-wide hidden layer.
+  FeatureSpec feature_spec;
+  feature_spec.nodes = graph_spec.nodes;
+  feature_spec.feature_length = 64;
+  feature_spec.density = 0.2;
+  feature_spec.seed = 2;
+  const CsrMatrix features = generate_features(feature_spec);
+  const DenseMatrix weights = DenseMatrix::random(64, 16, 3);
+
+  // 3. Simulate the layer on the accelerator with the paper's default
+  //    configuration (Table III), once per dataflow.
+  const Accelerator accelerator{AcceleratorConfig{}};
+  const GcnLayerResult golden =
+      gcn_layer_reference(a_hat, features, weights, /*apply_relu=*/false);
+
+  Table table({"Dataflow", "Cycles", "ALU util", "DMB hit rate",
+               "DRAM traffic", "matches golden model"});
+  for (const Dataflow flow : {Dataflow::kOuterProduct,
+                              Dataflow::kRowWiseProduct, Dataflow::kHybrid}) {
+    const LayerRunResult run =
+        accelerator.run_layer(flow, a_hat, features, weights);
+    table.add_row(
+        {to_string(flow), std::to_string(run.stats.cycles),
+         Table::fmt_percent(run.stats.alu_utilization(), 1),
+         Table::fmt_percent(run.stats.dmb_hit_rate(), 1),
+         Table::fmt_bytes(static_cast<double>(run.stats.dram_total_bytes())),
+         DenseMatrix::allclose(run.output, golden.aggregation, 1e-3, 1e-4)
+             ? "yes"
+             : "NO"});
+  }
+  std::cout << "One GCN layer (H = A_hat * X * W) on a " << graph_spec.nodes
+            << "-node power-law graph:\n\n";
+  table.print(std::cout);
+  std::cout << "\nHyMM = degree sorting + outer product on the dense "
+               "region (pinned partial outputs, near-memory accumulator) "
+               "+ row-wise product on the sparse regions.\n";
+  return 0;
+}

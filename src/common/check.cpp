@@ -1,0 +1,13 @@
+#include "common/check.hpp"
+
+namespace hymm::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "HYMM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw CheckError(oss.str());
+}
+
+}  // namespace hymm::detail

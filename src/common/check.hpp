@@ -1,0 +1,52 @@
+// Error-checking macros used across the library.
+//
+// HYMM_CHECK is always on (argument validation at public interfaces,
+// cheap invariants); HYMM_DCHECK compiles out in release builds and is
+// used on hot simulator paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hymm {
+
+// Thrown for violated preconditions / invariants. Deriving from
+// std::logic_error: these indicate a bug in the caller (or in us),
+// not an environmental failure.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace hymm
+
+#define HYMM_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hymm::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                   \
+  } while (false)
+
+#define HYMM_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream hymm_oss_;                                     \
+      hymm_oss_ << msg;                                                 \
+      ::hymm::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                   hymm_oss_.str());                    \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define HYMM_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define HYMM_DCHECK(expr) HYMM_CHECK(expr)
+#endif

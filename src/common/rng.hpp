@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic datasets must be reproducible across platforms and
+// standard-library versions, so we implement a fixed algorithm
+// (xoshiro256**) instead of relying on std::mt19937 + distribution
+// implementations whose output is not pinned by the standard.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  // Uniform over [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform over [0, 1).
+  double next_double();
+
+  // Uniform over [lo, hi).
+  double next_double(double lo, double hi);
+
+  // Bernoulli trial with probability p (clamped to [0, 1]).
+  bool next_bool(double p);
+
+  // Standard normal via Box-Muller (deterministic pairing).
+  double next_gaussian();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace hymm

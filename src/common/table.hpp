@@ -1,0 +1,38 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to
+// emit the rows of the paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hymm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Every row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Renders with per-column auto width, a header underline and two
+  // spaces between columns.
+  void print(std::ostream& os) const;
+
+  // Renders as comma-separated values (no quoting; callers keep cells
+  // free of commas).
+  void print_csv(std::ostream& os) const;
+
+  // Number formatting helpers shared by the bench binaries.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_percent(double fraction, int precision = 1);
+  static std::string fmt_bytes(double bytes);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hymm

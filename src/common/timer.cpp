@@ -1,0 +1,4 @@
+#include "common/timer.hpp"
+
+// Header-only; this translation unit exists so the build exposes one
+// object per public header and catches header self-containment issues.

@@ -1,0 +1,25 @@
+// Wall-clock timer for host-side preprocessing costs (Table II's
+// "Sorting cost (ms)" column).
+#pragma once
+
+#include <chrono>
+
+namespace hymm {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,29 @@
+// Fundamental scalar types shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hymm {
+
+// Graph node / matrix row-column index. 32 bits covers the largest
+// paper dataset (Yelp, 716 847 nodes) with ample headroom.
+using NodeId = std::uint32_t;
+
+// Count of edges / non-zeros. Yelp has 14 M edges; 64 bits keeps all
+// derived byte counters overflow-free.
+using EdgeCount = std::uint64_t;
+
+// Simulator cycle count.
+using Cycle = std::uint64_t;
+
+// Logical byte address in the accelerator's DRAM address space.
+using Addr = std::uint64_t;
+
+// Feature / matrix value type. The paper's PEs are single-precision.
+using Value = float;
+
+inline constexpr std::size_t kLineBytes = 64;  // DMB / DRAM transfer unit
+inline constexpr std::size_t kLaneCount = 16;  // floats per 64-byte line
+
+}  // namespace hymm

@@ -1,0 +1,186 @@
+#include "core/accelerator.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "core/op_engine.hpp"
+#include "core/rwp_engine.hpp"
+#include "graph/degree_sort.hpp"
+
+namespace hymm {
+
+
+Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
+  config_.validate();
+}
+
+LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
+                                      const CsrMatrix& x,
+                                      const DenseMatrix& w) const {
+  HYMM_CHECK(a_hat.rows() == a_hat.cols());
+  HYMM_CHECK(a_hat.cols() == x.rows());
+  HYMM_CHECK(x.cols() == w.rows());
+
+  const NodeId n = a_hat.rows();
+  // 64-byte lines per dense row; 1 for the paper's layer dimension 16.
+  const std::size_t chunks =
+      (static_cast<std::size_t>(w.cols()) + kLaneCount - 1) / kLaneCount;
+  LayerRunResult result;
+  result.flow = flow;
+
+  // --- HyMM preprocessing: degree sorting + tiling ---
+  const bool hybrid = flow == Dataflow::kHybrid;
+  CsrMatrix sorted_a;
+  CsrMatrix sorted_x;
+  std::vector<NodeId> perm;
+  TiledAdjacency tiled;
+  if (hybrid) {
+    Timer timer;
+    DegreeSortResult sort = degree_sort(a_hat);
+    perm = std::move(sort.perm);
+    sorted_a = std::move(sort.sorted);
+    sorted_x = permute_feature_rows(x, perm);
+    result.partition = partition_regions(sorted_a, config_, chunks);
+    tiled = TiledAdjacency::build(sorted_a, result.partition);
+    result.preprocess_ms = timer.elapsed_ms();
+  }
+  const CsrMatrix& a_used = hybrid ? sorted_a : a_hat;
+  const CsrMatrix& x_used = hybrid ? sorted_x : x;
+
+  // --- Memory system and address space ---
+  MemorySystem ms(config_);
+  const AddressRegion w_region = ms.address_map().allocate(
+      "W", static_cast<std::size_t>(w.rows()) * chunks * kLineBytes,
+      TrafficClass::kWeights);
+  const AddressRegion xw_region = ms.address_map().allocate(
+      "XW", static_cast<std::size_t>(n) * chunks * kLineBytes,
+      TrafficClass::kCombined);
+  const AddressRegion axw_region = ms.address_map().allocate(
+      "AXW", static_cast<std::size_t>(n) * chunks * kLineBytes,
+      TrafficClass::kOutput);
+  const AddressRegion spill_region = ms.address_map().allocate(
+      "partial-spill",
+      static_cast<std::size_t>((x.nnz() + a_hat.nnz() + 1024) * 128 *
+                               chunks),
+      TrafficClass::kPartial);
+
+  DenseMatrix xw = DenseMatrix::zeros(n, w.cols());
+  DenseMatrix axw = DenseMatrix::zeros(n, w.cols());
+
+  // --- Combination phase: XW = X * W ---
+  CscMatrix x_csc;  // OP architecture streams X column-wise
+  if (flow == Dataflow::kOuterProduct) {
+    x_csc = CscMatrix::from_csr(x_used);
+    OpEngineParams op;
+    op.sparse = &x_csc;
+    op.sparse_class = TrafficClass::kFeatures;
+    op.b = &w;
+    op.b_region = w_region;
+    op.b_class = TrafficClass::kWeights;
+    op.c = &xw;
+    op.c_region = xw_region;
+    op.c_final_class = TrafficClass::kCombined;
+    op.spill_region = spill_region;
+    op.accumulate_in_buffer = config_.op_baseline_accumulator;
+    op.window = config_.engine_window;
+    OpEngine engine(ms, op);
+    run_phase(ms, engine);
+  } else {
+    RwpEngineParams rwp;
+    rwp.sparse = &x_used;
+    rwp.sparse_class = TrafficClass::kFeatures;
+    rwp.b = &w;
+    rwp.b_region = w_region;
+    rwp.b_class = TrafficClass::kWeights;
+    rwp.c = &xw;
+    rwp.c_region = xw_region;
+    rwp.c_class = TrafficClass::kCombined;
+    rwp.c_store_kind = StoreKind::kAllocate;
+    rwp.window = config_.engine_window;
+    RwpEngine engine(ms, rwp);
+    run_phase(ms, engine);
+  }
+  result.combination_stats = ms.stats();
+  result.combination_stats.cycles = ms.now();
+
+  // --- Aggregation phase: AXW = A_hat * XW ---
+  // W is dead from here on: Section IV-D evicts W before XW, so the
+  // combination results survive in the unified buffer instead.
+  ms.dmb().demote_class(TrafficClass::kWeights);
+  CscMatrix a_csc;
+  switch (flow) {
+    case Dataflow::kRowWiseProduct: {
+      RwpEngineParams rwp;
+      rwp.sparse = &a_used;
+      rwp.sparse_class = TrafficClass::kAdjacency;
+      rwp.b = &xw;
+      rwp.b_region = xw_region;
+      rwp.b_class = TrafficClass::kCombined;
+      rwp.c = &axw;
+      rwp.c_region = axw_region;
+      rwp.c_class = TrafficClass::kOutput;
+      rwp.c_store_kind = StoreKind::kThrough;
+      rwp.window = config_.engine_window;
+      RwpEngine engine(ms, rwp);
+      run_phase(ms, engine);
+      break;
+    }
+    case Dataflow::kOuterProduct: {
+      a_csc = CscMatrix::from_csr(a_used);
+      OpEngineParams op;
+      op.sparse = &a_csc;
+      op.sparse_class = TrafficClass::kAdjacency;
+      op.b = &xw;
+      op.b_region = xw_region;
+      op.b_class = TrafficClass::kCombined;
+      op.c = &axw;
+      op.c_region = axw_region;
+      op.c_final_class = TrafficClass::kOutput;
+      op.spill_region = spill_region;
+      op.accumulate_in_buffer = config_.op_baseline_accumulator;
+      op.window = config_.engine_window;
+      OpEngine engine(ms, op);
+      run_phase(ms, engine);
+      break;
+    }
+    case Dataflow::kHybrid: {
+      HybridAggregationParams params;
+      params.tiled = &tiled;
+      params.b = &xw;
+      params.b_region = xw_region;
+      params.b_class = TrafficClass::kCombined;
+      params.c = &axw;
+      params.c_region = axw_region;
+      params.spill_region = spill_region;
+      result.hybrid_info = run_hybrid_aggregation(ms, params);
+      break;
+    }
+  }
+
+  result.stats = ms.stats();
+  result.stats.cycles = ms.now();
+  result.aggregation_stats =
+      stats_delta(result.stats, result.combination_stats);
+
+  // --- Return results in the original node order ---
+  if (hybrid) {
+    DenseMatrix xw_orig(n, w.cols());
+    DenseMatrix axw_orig(n, w.cols());
+    for (NodeId old_id = 0; old_id < n; ++old_id) {
+      const NodeId new_id = perm[old_id];
+      for (NodeId c = 0; c < w.cols(); ++c) {
+        xw_orig.at(old_id, c) = xw.at(new_id, c);
+        axw_orig.at(old_id, c) = axw.at(new_id, c);
+      }
+    }
+    result.combination = std::move(xw_orig);
+    result.output = std::move(axw_orig);
+  } else {
+    result.combination = std::move(xw);
+    result.output = std::move(axw);
+  }
+  return result;
+}
+
+}  // namespace hymm

@@ -1,0 +1,58 @@
+// Top-level accelerator model: sequences the combination and
+// aggregation phases of one GCN layer on the shared memory system,
+// dispatching to the RWP / OP / hybrid engines per Table I:
+//
+//   architecture | combination | aggregation       | graph prep
+//   RWP (GROW)   | RWP         | RWP               | none
+//   OP (GCNAX)   | OP          | OP                | none
+//   HyMM         | RWP         | OP (R1) + RWP     | degree sorting
+#pragma once
+
+#include "common/config.hpp"
+#include "core/engine.hpp"
+#include "core/hybrid_engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "linalg/dense.hpp"
+
+namespace hymm {
+
+struct LayerRunResult {
+  Dataflow flow = Dataflow::kRowWiseProduct;
+
+  // Functional outputs in the ORIGINAL node order (HyMM's internal
+  // degree-sorted order is un-permuted before returning).
+  DenseMatrix combination;  // XW
+  DenseMatrix output;       // A_hat * XW, pre-activation
+
+  // Whole-layer counters plus per-phase deltas.
+  SimStats stats;
+  SimStats combination_stats;
+  SimStats aggregation_stats;
+
+  // Hybrid-only extras (zeroed otherwise).
+  RegionPartition partition;
+  HybridAggregationInfo hybrid_info;
+  double preprocess_ms = 0.0;  // degree-sorting cost (Table II)
+
+  double runtime_ms(double clock_ghz) const {
+    return static_cast<double>(stats.cycles) / (clock_ghz * 1e6);
+  }
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorConfig& config);
+
+  const AcceleratorConfig& config() const { return config_; }
+
+  // Simulates one GCN layer H = a_hat * x * w (no activation).
+  // a_hat: n x n sparse; x: n x f sparse; w: f x d dense; d > 16 spans multiple lines per row.
+  LayerRunResult run_layer(Dataflow flow, const CsrMatrix& a_hat,
+                           const CsrMatrix& x, const DenseMatrix& w) const;
+
+ private:
+  AcceleratorConfig config_;
+};
+
+}  // namespace hymm

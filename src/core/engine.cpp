@@ -1,0 +1,44 @@
+#include "core/engine.hpp"
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+MemorySystem::MemorySystem(const AcceleratorConfig& config)
+    : config_(config),
+      dram_(config_, stats_),
+      dmb_(config_, dram_, stats_),
+      lsq_(config_, dmb_, stats_),
+      smq_(config_, dram_, stats_),
+      pe_(config_, stats_) {
+  config_.validate();
+}
+
+void MemorySystem::tick_components() {
+  dram_.tick(now_);
+  dmb_.tick(now_);
+  lsq_.tick(now_);
+  smq_.tick(now_);
+  stats_.maybe_sample_timeline(now_);
+}
+
+Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
+  const Cycle start = ms.now();
+  while (!engine.done(ms) || !ms.lsq().all_stores_drained() ||
+         ms.dmb().has_pending_misses()) {
+    HYMM_CHECK_MSG(ms.now() - start < max_cycles,
+                   "engine exceeded " << max_cycles
+                                      << " cycles — likely a deadlock");
+    ms.tick_components();
+    engine.tick(ms);
+    ms.advance();
+  }
+  // Account trailing DRAM writes still in the bandwidth pipe.
+  if (ms.dram().busy_until() > ms.now()) {
+    while (ms.now() < ms.dram().busy_until()) ms.advance();
+  }
+  ms.stats().cycles = ms.now();
+  return ms.now() - start;
+}
+
+}  // namespace hymm

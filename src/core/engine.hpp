@@ -1,0 +1,80 @@
+// Engine framework: the component bundle every dataflow engine runs
+// against, and the cycle loop that advances a phase to completion.
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "sim/address_map.hpp"
+#include "sim/dmb.hpp"
+#include "sim/dram.hpp"
+#include "sim/lsq.hpp"
+#include "sim/pe.hpp"
+#include "sim/smq.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+// All hardware component models of one accelerator instance. The
+// bundle persists across phases of a layer so the unified buffer and
+// the LSQ keep their contents between combination and aggregation
+// (Sections III and IV-B).
+class MemorySystem {
+ public:
+  explicit MemorySystem(const AcceleratorConfig& config);
+
+  const AcceleratorConfig& config() const { return config_; }
+  SimStats& stats() { return stats_; }
+  const SimStats& stats() const { return stats_; }
+  AddressMap& address_map() { return address_map_; }
+  Dram& dram() { return dram_; }
+  const Dram& dram() const { return dram_; }
+  DenseMatrixBuffer& dmb() { return dmb_; }
+  const DenseMatrixBuffer& dmb() const { return dmb_; }
+  LoadStoreQueue& lsq() { return lsq_; }
+  const LoadStoreQueue& lsq() const { return lsq_; }
+  SparseMatrixQueue& smq() { return smq_; }
+  const SparseMatrixQueue& smq() const { return smq_; }
+  PeArray& pe() { return pe_; }
+
+  Cycle now() const { return now_; }
+
+  // Delivers completions / retries / drains for the current cycle.
+  // The phase loop calls this before the engine's tick.
+  void tick_components();
+
+  // Advances to the next cycle.
+  void advance() { ++now_; }
+
+ private:
+  AcceleratorConfig config_;
+  SimStats stats_;
+  AddressMap address_map_;
+  Dram dram_;
+  DenseMatrixBuffer dmb_;
+  LoadStoreQueue lsq_;
+  SparseMatrixQueue smq_;
+  PeArray pe_;
+  Cycle now_ = 0;
+};
+
+// A dataflow engine: one phase of SpDeMM work expressed as a
+// per-cycle state machine.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  // All work retired and all queues the engine owns are empty.
+  virtual bool done(const MemorySystem& ms) const = 0;
+
+  // One cycle of engine work at ms.now().
+  virtual void tick(MemorySystem& ms) = 0;
+};
+
+// Runs `engine` until done (plus store/DRAM drain). Throws CheckError
+// when max_cycles elapse first — a hung engine is a bug, not a slow
+// workload. Returns the cycles consumed by this phase.
+Cycle run_phase(MemorySystem& ms, Engine& engine,
+                Cycle max_cycles = 2'000'000'000);
+
+}  // namespace hymm

@@ -1,0 +1,65 @@
+// Multi-layer GCN inference on the accelerator model: owns the
+// normalized adjacency and the per-layer weights, runs each layer's
+// combination+aggregation pair on the simulated hardware, applies
+// ReLU / re-sparsification on the host between layers (activation is
+// not part of the paper's accelerator), and verifies against the
+// golden model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "graph/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace hymm {
+
+class GcnModel {
+ public:
+  // a_hat must be square; weights[l].rows() must chain (layer 0's
+  // input dimension is the feature length of whatever run() gets).
+  // Layer dimensions above 16 span multiple 64-byte lines per row.
+  GcnModel(CsrMatrix a_hat, std::vector<DenseMatrix> weights);
+
+  // Convenience: Glorot-style random weights for the dimension chain
+  // in_dim -> dims[0] -> dims[1] -> ...
+  static GcnModel with_random_weights(CsrMatrix a_hat, NodeId in_dim,
+                                      const std::vector<NodeId>& dims,
+                                      std::uint64_t seed);
+
+  NodeId nodes() const { return a_hat_.rows(); }
+  std::size_t layer_count() const { return weights_.size(); }
+  const CsrMatrix& a_hat() const { return a_hat_; }
+  const std::vector<DenseMatrix>& weights() const { return weights_; }
+
+  struct InferenceResult {
+    DenseMatrix output;  // last layer's pre-activation output
+    std::vector<LayerRunResult> layers;
+    Cycle total_cycles = 0;
+    std::uint64_t total_dram_bytes = 0;
+    double total_preprocess_ms = 0.0;
+    bool verified = false;
+    double max_abs_err = 0.0;
+
+    double runtime_ms(double clock_ghz = 1.0) const {
+      return static_cast<double>(total_cycles) / (clock_ghz * 1e6);
+    }
+  };
+
+  // Simulates the whole network under one dataflow. When verify is
+  // set, the output is compared against reference(features).
+  InferenceResult run(Dataflow flow, const CsrMatrix& features,
+                      const AcceleratorConfig& config,
+                      bool verify = true) const;
+
+  // Host-side golden inference (ReLU between layers, none after the
+  // last).
+  DenseMatrix reference(const CsrMatrix& features) const;
+
+ private:
+  CsrMatrix a_hat_;
+  std::vector<DenseMatrix> weights_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,83 @@
+#include "core/hybrid_engine.hpp"
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+HybridAggregationInfo run_hybrid_aggregation(
+    MemorySystem& ms, const HybridAggregationParams& params) {
+  HYMM_CHECK(params.tiled != nullptr && params.b != nullptr &&
+             params.c != nullptr);
+  const RegionPartition& partition = params.tiled->partition();
+  HYMM_CHECK(params.c->rows() == partition.nodes);
+
+  HybridAggregationInfo info;
+  info.pinned_rows = partition.region1_rows;
+  const std::size_t chunks =
+      (static_cast<std::size_t>(params.b->cols()) + kLaneCount - 1) /
+      kLaneCount;
+
+  // --- Phase 1: OP over region 1 with pinned outputs ---
+  const bool accumulate = ms.config().near_memory_accumulator;
+  SimStats before_op = ms.stats();
+  before_op.cycles = ms.now();
+  if (partition.region1_rows > 0 &&
+      params.tiled->region1_csc().nnz() > 0) {
+    if (accumulate) {
+      for (NodeId r = 0; r < partition.region1_rows; ++r) {
+        const Addr base = params.c_region.line_of(r, chunks);
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+          const bool pinned =
+              ms.dmb().pin_partial(base + chunk * kLineBytes, ms.now());
+          HYMM_CHECK_MSG(pinned,
+                         "partition chose more region-1 rows than the DMB "
+                         "can pin — partition_regions() must clamp this");
+        }
+      }
+    }
+    OpEngineParams op;
+    op.sparse = &params.tiled->region1_csc();
+    op.sparse_class = TrafficClass::kAdjacency;
+    op.b = params.b;
+    op.b_region = params.b_region;
+    op.b_class = params.b_class;
+    op.c = params.c;
+    op.c_region = params.c_region;
+    op.c_final_class = TrafficClass::kOutput;
+    op.spill_region = params.spill_region;
+    op.accumulate_in_buffer = accumulate;
+    op.outputs_pinned = accumulate;
+    op.window = ms.config().engine_window;
+    OpEngine engine(ms, op);
+    info.op_phase_cycles = run_phase(ms, engine);
+    // Finished region-1 rows stream out exactly once.
+    if (accumulate) ms.dmb().unpin_and_writeback_outputs(ms.now());
+  }
+  SimStats after_op = ms.stats();
+  after_op.cycles = ms.now();
+  info.op_phase_stats = stats_delta(after_op, before_op);
+
+  // --- Phase 2: RWP over regions 2 and 3 ---
+  if (params.tiled->region23_csr().nnz() > 0) {
+    RwpEngineParams rwp;
+    rwp.sparse = &params.tiled->region23_csr();
+    rwp.sparse_class = TrafficClass::kAdjacency;
+    rwp.b = params.b;
+    rwp.b_region = params.b_region;
+    rwp.b_class = params.b_class;
+    rwp.c = params.c;
+    rwp.c_region = params.c_region;
+    rwp.c_class = TrafficClass::kOutput;
+    rwp.c_store_kind = StoreKind::kThrough;
+    rwp.row_offset = partition.region1_rows;
+    rwp.window = ms.config().engine_window;
+    RwpEngine engine(ms, rwp);
+    info.rwp_phase_cycles = run_phase(ms, engine);
+  }
+  SimStats after_rwp = ms.stats();
+  after_rwp.cycles = ms.now();
+  info.rwp_phase_stats = stats_delta(after_rwp, after_op);
+  return info;
+}
+
+}  // namespace hymm

@@ -1,0 +1,49 @@
+// HyMM's hybrid aggregation (Sections III and IV): OP over region 1
+// with the partial-output rows pinned in the DMB and merged by the
+// near-memory accumulator, followed by RWP over regions 2 and 3.
+// "We propose executing the OP mode first to prevent partial outputs
+// from being evicted to off-chip memory" — the pin + phase order
+// below implement exactly that.
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/op_engine.hpp"
+#include "core/rwp_engine.hpp"
+#include "graph/partition.hpp"
+#include "linalg/dense.hpp"
+
+namespace hymm {
+
+struct HybridAggregationParams {
+  const TiledAdjacency* tiled = nullptr;
+
+  const DenseMatrix* b = nullptr;  // XW, row-per-node
+  AddressRegion b_region;
+  TrafficClass b_class = TrafficClass::kCombined;
+
+  DenseMatrix* c = nullptr;  // AXW
+  AddressRegion c_region;
+
+  // Spill heap, used only by the no-accumulator ablation (the Fig 10
+  // "w/o accumulator" series): region 1 then appends partial records
+  // instead of pinning + merging in place.
+  AddressRegion spill_region;
+};
+
+struct HybridAggregationInfo {
+  Cycle op_phase_cycles = 0;
+  Cycle rwp_phase_cycles = 0;
+  NodeId pinned_rows = 0;
+  // Per-phase counter deltas (the OP phase includes the pin setup and
+  // the unpin writeback of the finished region-1 rows).
+  SimStats op_phase_stats;
+  SimStats rwp_phase_stats;
+};
+
+// Runs both phases to completion on `ms` and returns per-phase cycle
+// counts. The caller provides a memory system that already holds
+// whatever the combination phase left in the unified buffer.
+HybridAggregationInfo run_hybrid_aggregation(
+    MemorySystem& ms, const HybridAggregationParams& params);
+
+}  // namespace hymm

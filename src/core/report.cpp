@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace hymm {
+
+void print_stats_summary(const SimStats& stats, std::ostream& out,
+                         const std::string& indent) {
+  out << indent << "cycles:          " << stats.cycles << '\n'
+      << indent << "MAC ops:         " << stats.mac_ops << '\n'
+      << indent << "ALU utilization: "
+      << Table::fmt_percent(stats.alu_utilization(), 1) << '\n'
+      << indent << "DMB hit rate:    "
+      << Table::fmt_percent(stats.dmb_hit_rate(), 1) << " ("
+      << stats.dmb_read_hits + stats.dmb_accumulate_hits << " hits / "
+      << stats.dmb_read_misses + stats.dmb_accumulate_misses
+      << " misses)\n"
+      << indent << "LSQ forwards:    " << stats.lsq_forwards << '\n'
+      << indent << "partial spills:  " << stats.dmb_partial_spills << '\n'
+      << indent << "partial peak:    "
+      << Table::fmt_bytes(static_cast<double>(stats.partial_bytes_peak))
+      << '\n'
+      << indent << "DRAM traffic:    "
+      << Table::fmt_bytes(static_cast<double>(stats.dram_total_bytes()))
+      << " (" << dram_breakdown_string(stats) << ")\n";
+}
+
+std::string dram_breakdown_string(const SimStats& stats) {
+  std::ostringstream oss;
+  bool first = true;
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    const std::uint64_t bytes =
+        stats.dram_read_bytes[c] + stats.dram_write_bytes[c];
+    if (bytes == 0) continue;
+    if (!first) oss << ", ";
+    first = false;
+    oss << to_string(static_cast<TrafficClass>(c)) << '='
+        << Table::fmt_bytes(static_cast<double>(bytes));
+  }
+  return first ? "none" : oss.str();
+}
+
+void write_results_csv(std::span<const ExperimentResult> results,
+                       std::ostream& out) {
+  out << "dataset,scale,flow,cycles,combination_cycles,aggregation_cycles,"
+         "mac_ops,alu_utilization,dmb_hit_rate,partial_bytes_peak,"
+         "preprocess_ms";
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    out << ",read_" << to_string(static_cast<TrafficClass>(c));
+    out << ",write_" << to_string(static_cast<TrafficClass>(c));
+  }
+  out << ",dram_total_bytes,verified,max_abs_err\n";
+  for (const ExperimentResult& r : results) {
+    out << r.abbrev << ',' << r.scale << ',' << to_string(r.flow) << ','
+        << r.cycles << ',' << r.combination_cycles << ','
+        << r.aggregation_cycles << ',' << r.mac_ops << ','
+        << r.alu_utilization << ',' << r.dmb_hit_rate << ','
+        << r.partial_bytes_peak << ',' << r.preprocess_ms;
+    for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+      out << ',' << r.dram_read_bytes[c] << ',' << r.dram_write_bytes[c];
+    }
+    out << ',' << r.dram_total_bytes << ',' << (r.verified ? 1 : 0) << ','
+        << r.max_abs_err << '\n';
+  }
+}
+
+}  // namespace hymm

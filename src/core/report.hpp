@@ -1,0 +1,28 @@
+// Human-readable and CSV renderings of simulation statistics, shared
+// by the bench binaries, the examples and external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/runner.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+// Multi-line summary of one run's counters (cycles, utilization, hit
+// rates, traffic by class, partial footprint).
+void print_stats_summary(const SimStats& stats, std::ostream& out,
+                         const std::string& indent = "  ");
+
+// One-line "class=bytes" breakdown of DRAM traffic.
+std::string dram_breakdown_string(const SimStats& stats);
+
+// Machine-readable experiment dump: one row per result with a fixed
+// header (dataset, flow, cycles, utilization, hit rate, per-class
+// bytes, partial peak, verification).
+void write_results_csv(std::span<const ExperimentResult> results,
+                       std::ostream& out);
+
+}  // namespace hymm

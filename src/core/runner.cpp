@@ -1,0 +1,73 @@
+#include "core/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+ExperimentResult run_experiment(const GcnWorkload& workload,
+                                const CsrMatrix& a_hat,
+                                const DenseMatrix& weights,
+                                const DenseMatrix& reference_output,
+                                Dataflow flow,
+                                const AcceleratorConfig& config) {
+  Accelerator accelerator(config);
+  const LayerRunResult layer =
+      accelerator.run_layer(flow, a_hat, workload.features, weights);
+
+  ExperimentResult r;
+  r.dataset = workload.spec.name;
+  r.abbrev = workload.spec.abbrev;
+  r.scale = workload.scale;
+  r.flow = flow;
+  r.cycles = layer.stats.cycles;
+  r.alu_utilization = layer.stats.alu_utilization();
+  r.dmb_hit_rate = layer.stats.dmb_hit_rate();
+  r.dram_total_bytes = layer.stats.dram_total_bytes();
+  r.dram_read_bytes = layer.stats.dram_read_bytes;
+  r.dram_write_bytes = layer.stats.dram_write_bytes;
+  r.partial_bytes_peak = layer.stats.partial_bytes_peak;
+  r.mac_ops = layer.stats.mac_ops;
+  r.combination_cycles = layer.combination_stats.cycles;
+  r.aggregation_cycles = layer.aggregation_stats.cycles;
+  r.preprocess_ms = layer.preprocess_ms;
+  r.partition = layer.partition;
+  r.stats = layer.stats;
+  r.max_abs_err =
+      DenseMatrix::max_abs_diff(layer.output, reference_output);
+  r.verified = DenseMatrix::allclose(layer.output, reference_output,
+                                     /*rtol=*/1e-3, /*atol=*/1e-4);
+  return r;
+}
+
+const ExperimentResult& DataflowComparison::by_flow(Dataflow flow) const {
+  for (const ExperimentResult& r : results) {
+    if (r.flow == flow) return r;
+  }
+  HYMM_CHECK_MSG(false, "dataflow " << to_string(flow) << " not in run");
+  return results.front();  // unreachable
+}
+
+DataflowComparison compare_dataflows(const DatasetSpec& spec,
+                                     const AcceleratorConfig& config,
+                                     const std::vector<Dataflow>& flows,
+                                     double scale, std::uint64_t seed) {
+  const double effective_scale = scale < 0.0 ? default_scale(spec) : scale;
+  const GcnWorkload workload = build_workload(spec, effective_scale, seed);
+
+  const CsrMatrix a_hat = normalize_adjacency(workload.adjacency);
+  const DenseMatrix weights = DenseMatrix::random(
+      workload.spec.feature_length, workload.spec.layer_dim, seed + 7);
+  const GcnLayerResult golden = gcn_layer_reference(
+      a_hat, workload.features, weights, /*apply_relu=*/false);
+
+  DataflowComparison comparison;
+  comparison.spec = workload.spec;
+  comparison.scale = effective_scale;
+  for (const Dataflow flow : flows) {
+    comparison.results.push_back(run_experiment(
+        workload, a_hat, weights, golden.aggregation, flow, config));
+  }
+  return comparison;
+}
+
+}  // namespace hymm

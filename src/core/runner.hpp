@@ -1,0 +1,76 @@
+// Experiment runner shared by the bench binaries, the examples and
+// the integration tests: builds a workload, simulates it under each
+// dataflow, verifies the functional output against the golden model
+// and distills the metrics the paper's figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/accelerator.hpp"
+#include "graph/datasets.hpp"
+#include "linalg/gcn.hpp"
+
+namespace hymm {
+
+struct ExperimentResult {
+  std::string dataset;
+  std::string abbrev;
+  double scale = 1.0;
+  Dataflow flow = Dataflow::kRowWiseProduct;
+
+  Cycle cycles = 0;
+  double alu_utilization = 0.0;  // Fig 8
+  double dmb_hit_rate = 0.0;     // Fig 9
+  std::uint64_t dram_total_bytes = 0;  // Fig 11 (total)
+  std::array<std::uint64_t, kTrafficClassCount> dram_read_bytes{};
+  std::array<std::uint64_t, kTrafficClassCount> dram_write_bytes{};
+  std::uint64_t partial_bytes_peak = 0;  // Fig 10
+  std::uint64_t mac_ops = 0;
+
+  Cycle combination_cycles = 0;
+  Cycle aggregation_cycles = 0;
+  double preprocess_ms = 0.0;  // Table II sorting cost (hybrid only)
+  RegionPartition partition;   // hybrid only
+
+  bool verified = false;    // matches the golden model
+  double max_abs_err = 0.0;
+
+  // Full whole-layer counter set (the fields above are the distilled
+  // figure metrics; this keeps everything for reports).
+  SimStats stats;
+
+  double runtime_ms(double clock_ghz = 1.0) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+// Simulates one GCN layer of `workload` under `flow` and verifies the
+// result. a_hat/weights/reference are shared across flows by
+// compare_dataflows to avoid rebuilding them.
+ExperimentResult run_experiment(const GcnWorkload& workload,
+                                const CsrMatrix& a_hat,
+                                const DenseMatrix& weights,
+                                const DenseMatrix& reference_output,
+                                Dataflow flow,
+                                const AcceleratorConfig& config);
+
+struct DataflowComparison {
+  DatasetSpec spec;  // post-scaling
+  double scale = 1.0;
+  std::vector<ExperimentResult> results;  // one per requested flow
+
+  const ExperimentResult& by_flow(Dataflow flow) const;
+};
+
+// Builds the dataset's synthetic workload once and runs every
+// requested dataflow on it. `scale < 0` selects default_scale(spec).
+DataflowComparison compare_dataflows(
+    const DatasetSpec& spec, const AcceleratorConfig& config,
+    const std::vector<Dataflow>& flows =
+        {Dataflow::kOuterProduct, Dataflow::kRowWiseProduct,
+         Dataflow::kHybrid},
+    double scale = -1.0, std::uint64_t seed = 42);
+
+}  // namespace hymm

@@ -1,0 +1,78 @@
+// Row-wise product engine (Fig 1a; represents GROW, and runs HyMM's
+// regions 2/3 and the combination phase of RWP-family architectures).
+//
+// Per cycle: the SMQ supplies one (row, col, value) scalar; the LSQ
+// fetches the matching dense row B[col]; the PE array retires one
+// scalar x vector MAC into the output-stationary row accumulator
+// (modeled directly on the host output row); a row's last non-zero
+// triggers the output-row store.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace hymm {
+
+// Dense rows wider than 16 floats span multiple 64-byte lines; each
+// non-zero then expands into one work item per line chunk.
+struct RwpEngineParams {
+  const CsrMatrix* sparse = nullptr;  // A (aggregation) or X (combination)
+  TrafficClass sparse_class = TrafficClass::kAdjacency;
+
+  const DenseMatrix* b = nullptr;  // XW (aggregation) or W (combination)
+  AddressRegion b_region;
+  TrafficClass b_class = TrafficClass::kCombined;
+
+  DenseMatrix* c = nullptr;  // output, sized sparse->rows() x b->cols()
+  AddressRegion c_region;
+  TrafficClass c_class = TrafficClass::kOutput;
+  StoreKind c_store_kind = StoreKind::kThrough;
+
+  // Rebase for tiled inputs: local sparse row r writes global output
+  // row r + row_offset (HyMM region 2/3 runs rows [R1, n)).
+  NodeId row_offset = 0;
+
+  // Maximum in-flight non-zeros (bounded further by LSQ capacity).
+  std::size_t window = 64;
+};
+
+class RwpEngine final : public Engine {
+ public:
+  // The memory system is needed at construction to attach the SMQ
+  // stream. Parameter pointers must outlive the engine.
+  RwpEngine(MemorySystem& ms, const RwpEngineParams& params);
+
+  bool done(const MemorySystem& ms) const override;
+  void tick(MemorySystem& ms) override;
+
+ private:
+  struct Pending {
+    NodeId row = 0;    // local sparse row
+    NodeId col = 0;    // dense row index into B
+    Value value = 0.0f;
+    std::size_t chunk = 0;  // which 16-lane slice of the row
+    bool last_of_row = false;
+    LoadStoreQueue::EntryId load_id = 0;
+  };
+
+  void try_issue(MemorySystem& ms);
+  void try_retire(MemorySystem& ms);
+
+  std::span<const Value> b_lanes(NodeId row, std::size_t chunk) const;
+  std::span<Value> c_lanes(NodeId row, std::size_t chunk) const;
+
+  RwpEngineParams params_;
+  std::size_t chunks_ = 1;  // 64-byte lines per dense row
+  std::deque<Pending> pending_;
+  // Output-line stores the LSQ rejected; retried before any further
+  // retirement.
+  std::deque<Addr> pending_stores_;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace hymm

@@ -1,0 +1,48 @@
+#include "graph/coo.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+CooMatrix::CooMatrix(NodeId rows, NodeId cols) : rows_(rows), cols_(cols) {}
+
+void CooMatrix::add(NodeId row, NodeId col, Value value) {
+  HYMM_CHECK_MSG(row < rows_ && col < cols_,
+                 "entry (" << row << "," << col << ") out of bounds for "
+                           << rows_ << "x" << cols_);
+  entries_.push_back(Triplet{row, col, value});
+}
+
+void CooMatrix::sort_and_merge() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size();) {
+    Triplet merged = entries_[i];
+    std::size_t j = i + 1;
+    while (j < entries_.size() && entries_[j].row == merged.row &&
+           entries_[j].col == merged.col) {
+      merged.value += entries_[j].value;
+      ++j;
+    }
+    entries_[out++] = merged;
+    i = j;
+  }
+  entries_.resize(out);
+}
+
+bool CooMatrix::is_canonical() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const auto& a = entries_[i - 1];
+    const auto& b = entries_[i];
+    const bool ordered = a.row < b.row || (a.row == b.row && a.col < b.col);
+    if (!ordered) return false;
+  }
+  return true;
+}
+
+}  // namespace hymm

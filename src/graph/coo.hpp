@@ -1,0 +1,47 @@
+// Coordinate-list sparse matrix: the interchange format produced by
+// the graph generators and consumed by the compressed formats.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hymm {
+
+struct Triplet {
+  NodeId row = 0;
+  NodeId col = 0;
+  Value value = 0.0f;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(NodeId rows, NodeId cols);
+
+  NodeId rows() const { return rows_; }
+  NodeId cols() const { return cols_; }
+  EdgeCount nnz() const { return entries_.size(); }
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+
+  // Appends one entry; indices are bounds-checked.
+  void add(NodeId row, NodeId col, Value value);
+
+  // Sorts entries by (row, col) and sums duplicates in place.
+  // Entries whose merged value is exactly zero are kept (an explicit
+  // zero is still a stored non-zero for dataflow purposes).
+  void sort_and_merge();
+
+  // True when entries are sorted by (row, col) with no duplicates.
+  bool is_canonical() const;
+
+ private:
+  NodeId rows_ = 0;
+  NodeId cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace hymm

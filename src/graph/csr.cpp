@@ -1,0 +1,171 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+CsrMatrix CsrMatrix::from_coo(CooMatrix coo) {
+  if (!coo.is_canonical()) coo.sort_and_merge();
+  CsrMatrix m;
+  m.rows_ = coo.rows();
+  m.cols_ = coo.cols();
+  m.row_ptr_.assign(static_cast<std::size_t>(m.rows_) + 1, 0);
+  m.col_idx_.reserve(coo.nnz());
+  m.values_.reserve(coo.nnz());
+  for (const Triplet& t : coo.entries()) {
+    ++m.row_ptr_[t.row + 1];
+    m.col_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+  }
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_parts(NodeId rows, NodeId cols,
+                                std::vector<EdgeCount> row_ptr,
+                                std::vector<NodeId> col_idx,
+                                std::vector<Value> values) {
+  HYMM_CHECK(row_ptr.size() == static_cast<std::size_t>(rows) + 1);
+  HYMM_CHECK(row_ptr.front() == 0);
+  HYMM_CHECK(row_ptr.back() == col_idx.size());
+  HYMM_CHECK(col_idx.size() == values.size());
+  HYMM_CHECK(std::is_sorted(row_ptr.begin(), row_ptr.end()));
+  for (const NodeId c : col_idx) HYMM_CHECK(c < cols);
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+EdgeCount CsrMatrix::row_nnz(NodeId row) const {
+  HYMM_DCHECK(row < rows_);
+  return row_ptr_[row + 1] - row_ptr_[row];
+}
+
+std::span<const NodeId> CsrMatrix::row_cols(NodeId row) const {
+  HYMM_DCHECK(row < rows_);
+  return {col_idx_.data() + row_ptr_[row],
+          static_cast<std::size_t>(row_nnz(row))};
+}
+
+std::span<const Value> CsrMatrix::row_values(NodeId row) const {
+  HYMM_DCHECK(row < rows_);
+  return {values_.data() + row_ptr_[row],
+          static_cast<std::size_t>(row_nnz(row))};
+}
+
+std::vector<EdgeCount> CsrMatrix::column_nnz() const {
+  std::vector<EdgeCount> counts(cols_, 0);
+  for (const NodeId c : col_idx_) ++counts[c];
+  return counts;
+}
+
+CooMatrix CsrMatrix::to_coo() const {
+  CooMatrix coo(rows_, cols_);
+  for (NodeId r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(r, cols[k], vals[k]);
+    }
+  }
+  return coo;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  for (const NodeId c : col_idx_) ++t.row_ptr_[c + 1];
+  std::partial_sum(t.row_ptr_.begin(), t.row_ptr_.end(), t.row_ptr_.begin());
+  t.col_idx_.resize(col_idx_.size());
+  t.values_.resize(values_.size());
+  std::vector<EdgeCount> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (NodeId r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const EdgeCount slot = cursor[cols[k]]++;
+      t.col_idx_[slot] = r;
+      t.values_[slot] = vals[k];
+    }
+  }
+  // Column-major traversal of a row-sorted matrix yields row-sorted
+  // output per transposed row, so the result is canonical by
+  // construction.
+  return t;
+}
+
+CsrMatrix CsrMatrix::submatrix(NodeId row_begin, NodeId row_end,
+                               NodeId col_begin, NodeId col_end) const {
+  HYMM_CHECK(row_begin <= row_end && row_end <= rows_);
+  HYMM_CHECK(col_begin <= col_end && col_end <= cols_);
+  CsrMatrix m;
+  m.rows_ = row_end - row_begin;
+  m.cols_ = col_end - col_begin;
+  m.row_ptr_.assign(static_cast<std::size_t>(m.rows_) + 1, 0);
+  for (NodeId r = row_begin; r < row_end; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] >= col_begin && cols[k] < col_end) {
+        m.col_idx_.push_back(cols[k] - col_begin);
+        m.values_.push_back(vals[k]);
+        ++m.row_ptr_[r - row_begin + 1];
+      }
+    }
+  }
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  return m;
+}
+
+CsrMatrix CsrMatrix::permute_symmetric(std::span<const NodeId> perm) const {
+  HYMM_CHECK_MSG(rows_ == cols_, "symmetric permutation needs a square matrix");
+  HYMM_CHECK(perm.size() == rows_);
+  CooMatrix coo(rows_, cols_);
+  for (NodeId r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(perm[r], perm[cols[k]], vals[k]);
+    }
+  }
+  return from_coo(std::move(coo));
+}
+
+CsrMatrix CsrMatrix::permute_rows(std::span<const NodeId> perm) const {
+  HYMM_CHECK(perm.size() == rows_);
+  CooMatrix coo(rows_, cols_);
+  for (NodeId r = 0; r < rows_; ++r) {
+    const auto cols = row_cols(r);
+    const auto vals = row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      coo.add(perm[r], cols[k], vals[k]);
+    }
+  }
+  return from_coo(std::move(coo));
+}
+
+std::size_t CsrMatrix::storage_bytes() const {
+  const std::size_t ptr_bytes = (static_cast<std::size_t>(rows_) + 1) * 4;
+  const std::size_t idx_bytes = col_idx_.size() * 4;
+  const std::size_t val_bytes = values_.size() * sizeof(Value);
+  return ptr_bytes + idx_bytes + val_bytes;
+}
+
+CscMatrix CscMatrix::from_csr(const CsrMatrix& csr) {
+  return CscMatrix(csr.transpose());
+}
+
+CscMatrix CscMatrix::from_coo(CooMatrix coo) {
+  return from_csr(CsrMatrix::from_coo(std::move(coo)));
+}
+
+}  // namespace hymm

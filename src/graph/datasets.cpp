@@ -1,0 +1,78 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "graph/generator.hpp"
+
+namespace hymm {
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  // Values transcribed from Table II.
+  static const std::vector<DatasetSpec> datasets = {
+      {"Cora", "CR", 2708, 10556, 0.9873, 1433, 16},
+      {"Amazon-Photo", "AP", 7650, 238162, 0.6526, 745, 16},
+      {"Amazon-Computers", "AC", 13752, 491722, 0.6516, 767, 16},
+      {"Computer-Science", "CS", 18333, 163788, 0.9912, 6805, 16},
+      {"Physics", "PH", 34493, 495924, 0.9961, 8415, 16},
+      {"Flickr", "FR", 89250, 899756, 0.5361, 500, 16},
+      {"Yelp", "YP", 716847, 13954819, 0.9999, 300, 16},
+  };
+  return datasets;
+}
+
+std::optional<DatasetSpec> find_dataset(const std::string& name_or_abbrev) {
+  for (const DatasetSpec& spec : paper_datasets()) {
+    if (spec.name == name_or_abbrev || spec.abbrev == name_or_abbrev) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+DatasetSpec scale_dataset(const DatasetSpec& spec, double scale) {
+  HYMM_CHECK_MSG(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  if (scale == 1.0) return spec;
+  DatasetSpec scaled = spec;
+  scaled.nodes = std::max<NodeId>(
+      16, static_cast<NodeId>(std::llround(spec.nodes * scale)));
+  scaled.edges = std::max<EdgeCount>(
+      scaled.nodes,
+      static_cast<EdgeCount>(std::llround(
+          static_cast<double>(spec.edges) * scale)));
+  return scaled;
+}
+
+double default_scale(const DatasetSpec& spec) {
+  const char* full = std::getenv("HYMM_FULL_DATASETS");
+  if (full != nullptr && full[0] == '1') return 1.0;
+  if (spec.abbrev == "FR") return 0.25;
+  if (spec.abbrev == "YP") return 0.04;
+  return 1.0;
+}
+
+GcnWorkload build_workload(const DatasetSpec& spec, double scale,
+                           std::uint64_t seed) {
+  const DatasetSpec scaled = scale_dataset(spec, scale);
+  GcnWorkload workload;
+  workload.spec = scaled;
+  workload.scale = scale;
+
+  GraphSpec graph_spec;
+  graph_spec.nodes = scaled.nodes;
+  graph_spec.edges = scaled.edges;
+  graph_spec.seed = seed;
+  workload.adjacency = generate_power_law_graph(graph_spec);
+
+  FeatureSpec feature_spec;
+  feature_spec.nodes = scaled.nodes;
+  feature_spec.feature_length = scaled.feature_length;
+  feature_spec.density = scaled.feature_density();
+  feature_spec.seed = seed + 1;
+  workload.features = generate_features(feature_spec);
+  return workload;
+}
+
+}  // namespace hymm

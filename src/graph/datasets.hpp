@@ -1,0 +1,61 @@
+// Registry of the paper's evaluation workloads (Table II) and
+// builders for their synthetic stand-ins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hymm {
+
+struct DatasetSpec {
+  std::string name;          // e.g. "Amazon-Photo"
+  std::string abbrev;        // e.g. "AP"
+  NodeId nodes = 0;
+  EdgeCount edges = 0;       // stored non-zeros of the adjacency
+  double feature_sparsity = 0.0;  // fraction of zero feature entries
+  NodeId feature_length = 0;
+  NodeId layer_dim = 16;     // GCN hidden dimension (Table II)
+
+  double adjacency_sparsity() const {
+    const double total =
+        static_cast<double>(nodes) * static_cast<double>(nodes);
+    return 1.0 - static_cast<double>(edges) / total;
+  }
+  double feature_density() const { return 1.0 - feature_sparsity; }
+};
+
+// The seven Table II datasets, in paper order:
+// Cora (CR), Amazon-Photo (AP), Amazon-Computers (AC),
+// Computer-Science (CS), Physics (PH), Flickr (FR), Yelp (YP).
+const std::vector<DatasetSpec>& paper_datasets();
+
+// Lookup by abbreviation ("AP") or full name; nullopt when unknown.
+std::optional<DatasetSpec> find_dataset(const std::string& name_or_abbrev);
+
+// Returns the spec scaled to `scale` (0 < scale <= 1): node and edge
+// counts shrink proportionally (preserving average degree), feature
+// statistics are untouched. scale == 1 returns the spec unchanged.
+DatasetSpec scale_dataset(const DatasetSpec& spec, double scale);
+
+// Default simulation scale for a dataset: 1.0 for the five small
+// graphs; Flickr and Yelp are reduced so the full bench suite runs in
+// minutes (DESIGN.md section 3). HYMM_FULL_DATASETS=1 forces 1.0.
+double default_scale(const DatasetSpec& spec);
+
+struct GcnWorkload {
+  DatasetSpec spec;          // post-scaling spec
+  double scale = 1.0;        // applied scale factor
+  CsrMatrix adjacency;       // unsorted, symmetric, unit weights
+  CsrMatrix features;        // nodes x feature_length sparse matrix
+};
+
+// Generates the synthetic stand-in for a dataset at the given scale.
+// Deterministic for a fixed (spec, scale, seed).
+GcnWorkload build_workload(const DatasetSpec& spec, double scale = 1.0,
+                           std::uint64_t seed = 42);
+
+}  // namespace hymm

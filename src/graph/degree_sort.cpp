@@ -1,0 +1,102 @@
+#include "graph/degree_sort.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace hymm {
+
+std::vector<NodeId> degree_sort_permutation(const CsrMatrix& adjacency) {
+  HYMM_CHECK_MSG(adjacency.rows() == adjacency.cols(),
+                 "adjacency must be square");
+  const NodeId n = adjacency.rows();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return adjacency.row_nnz(a) > adjacency.row_nnz(b);
+  });
+  // order[new] = old; invert to get perm[old] = new.
+  std::vector<NodeId> perm(n);
+  for (NodeId new_id = 0; new_id < n; ++new_id) perm[order[new_id]] = new_id;
+  return perm;
+}
+
+std::vector<NodeId> invert_permutation(std::span<const NodeId> perm) {
+  constexpr NodeId kUnset = ~NodeId{0};
+  std::vector<NodeId> inv(perm.size(), kUnset);
+  for (NodeId i = 0; i < perm.size(); ++i) {
+    HYMM_CHECK_MSG(perm[i] < perm.size(), "not a permutation: value "
+                                              << perm[i] << " out of range");
+    HYMM_CHECK_MSG(inv[perm[i]] == kUnset,
+                   "not a permutation: value " << perm[i] << " repeats");
+    inv[perm[i]] = i;
+  }
+  return inv;
+}
+
+DegreeSortResult degree_sort(const CsrMatrix& adjacency) {
+  Timer timer;
+  DegreeSortResult result;
+  result.perm = degree_sort_permutation(adjacency);
+  result.sorted = adjacency.permute_symmetric(result.perm);
+  result.sort_cost_ms = timer.elapsed_ms();
+  return result;
+}
+
+CsrMatrix permute_feature_rows(const CsrMatrix& features,
+                               std::span<const NodeId> perm) {
+  return features.permute_rows(perm);
+}
+
+std::vector<NodeId> bfs_permutation(const CsrMatrix& adjacency) {
+  HYMM_CHECK_MSG(adjacency.rows() == adjacency.cols(),
+                 "adjacency must be square");
+  const NodeId n = adjacency.rows();
+  // Seed order: nodes by decreasing degree, so the densest component
+  // is numbered first.
+  std::vector<NodeId> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), NodeId{0});
+  std::stable_sort(seeds.begin(), seeds.end(), [&](NodeId a, NodeId b) {
+    return adjacency.row_nnz(a) > adjacency.row_nnz(b);
+  });
+
+  std::vector<NodeId> perm(n);
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  NodeId next_id = 0;
+  for (const NodeId seed : seeds) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    queue.push_back(seed);
+    for (std::size_t head = queue.size() - 1; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      perm[u] = next_id++;
+      for (const NodeId v : adjacency.row_cols(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  HYMM_DCHECK(next_id == n);
+  return perm;
+}
+
+std::vector<NodeId> random_permutation_of(NodeId nodes,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> perm(nodes);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (NodeId i = nodes; i > 1; --i) {
+    const auto j = static_cast<NodeId>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace hymm

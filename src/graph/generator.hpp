@@ -1,0 +1,83 @@
+// Synthetic graph and sparse-feature generators.
+//
+// The paper evaluates on PyTorch-Geometric datasets; those are not
+// redistributable here, so we generate graphs that match the
+// statistics the paper's mechanisms depend on: node count, edge
+// count, and a power-law degree distribution in which the top 20 % of
+// nodes hold more than 70 % of the edges (paper Fig 2). See DESIGN.md
+// section 3 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace hymm {
+
+struct GraphSpec {
+  NodeId nodes = 0;
+  // Number of stored non-zeros in the adjacency matrix (directed
+  // edge slots; an undirected edge contributes two).
+  EdgeCount edges = 0;
+  // Chung-Lu weight exponent: node i's connection weight is
+  // (i+1)^-skew before shuffling. After pair deduplication, 1.2
+  // yields a top-20 % edge share of 75-83 % on the paper's graph
+  // sizes, matching Fig 2's ">70 %" observation. Must be in [0, 2).
+  double skew = 1.2;
+  // Mirror every sampled edge so the adjacency is symmetric
+  // (undirected graph), as in the paper's datasets.
+  bool symmetric = true;
+  // Shuffle node ids so the stored order is NOT degree-sorted; the
+  // baselines must see an unsorted graph (HyMM sorts explicitly).
+  bool shuffle_ids = true;
+  std::uint64_t seed = 1;
+};
+
+// Chung-Lu style power-law random graph with unit edge weights and no
+// self loops. The returned matrix has exactly spec.nodes rows/cols;
+// the non-zero count approaches spec.edges (duplicate samples are
+// merged, so it can land slightly below; the generator oversamples to
+// compensate and a tolerance test pins the accuracy).
+CsrMatrix generate_power_law_graph(const GraphSpec& spec);
+
+// Erdos-Renyi style uniform random graph (baseline for tests and the
+// dataflow-comparison example).
+CsrMatrix generate_uniform_graph(NodeId nodes, EdgeCount edges,
+                                 std::uint64_t seed, bool symmetric = true);
+
+struct RmatSpec {
+  NodeId nodes = 0;   // rounded up internally to a power of two for
+                      // the recursive split; extra ids stay isolated
+  EdgeCount edges = 0;
+  // Quadrant probabilities (Chakrabarti et al.); must sum to ~1.
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  bool symmetric = true;
+  bool shuffle_ids = true;
+  std::uint64_t seed = 1;
+};
+
+// Recursive-matrix (R-MAT) generator — the other standard scale-free
+// model in the accelerator literature; produces community structure
+// in addition to a skewed degree distribution.
+CsrMatrix generate_rmat_graph(const RmatSpec& spec);
+
+struct FeatureSpec {
+  NodeId nodes = 0;
+  NodeId feature_length = 0;
+  // Fraction of entries that are non-zero (1 - "feature sparsity" in
+  // the paper's Table II).
+  double density = 1.0;
+  std::uint64_t seed = 1;
+};
+
+// Sparse node-feature matrix (nodes x feature_length) with uniformly
+// placed non-zeros of value in [0.1, 1); total nnz equals
+// round(nodes * feature_length * density) distributed near-evenly
+// across rows.
+CsrMatrix generate_features(const FeatureSpec& spec);
+
+// Share of all non-zeros held by the top `fraction` of rows by
+// row-degree (Fig 2's metric: fraction = 0.20).
+double top_degree_edge_share(const CsrMatrix& adjacency, double fraction);
+
+}  // namespace hymm

@@ -1,0 +1,79 @@
+// Region partitioning and the HyMM tiled storage format (paper
+// Sections III, IV-E and Fig 2b).
+//
+// After degree sorting, the adjacency matrix splits into:
+//   region 1 — rows [0, region1_rows): high-degree output rows,
+//              processed in OP mode with partial outputs pinned
+//              on-chip;
+//   region 2 — rows [region1_rows, n) x cols [0, region2_cols):
+//              high-degree input columns, processed in RWP mode with
+//              the hot XW rows cached;
+//   region 3 — the remaining extremely sparse block, also RWP.
+#pragma once
+
+#include <cstddef>
+
+#include "common/config.hpp"
+#include "graph/csr.hpp"
+
+namespace hymm {
+
+struct RegionPartition {
+  NodeId nodes = 0;
+  NodeId region1_rows = 0;  // OP rows
+  NodeId region2_cols = 0;  // RWP hot-column boundary
+  EdgeCount nnz_region1 = 0;
+  EdgeCount nnz_region2 = 0;
+  EdgeCount nnz_region3 = 0;
+
+  EdgeCount total_nnz() const {
+    return nnz_region1 + nnz_region2 + nnz_region3;
+  }
+};
+
+// Chooses the region boundaries for a degree-sorted adjacency matrix.
+// The tiling threshold caps both boundaries at a fraction of the node
+// count (paper: 20 %); each is further clamped so the corresponding
+// working set (AXW rows for region 1, XW rows for region 2) fits in
+// the DMB ("if the DMB is smaller than 20% of graph's nodes, the
+// tiling is adjusted", Section IV-E). out_row_lines is the number of
+// 64-byte lines per dense output row (1 for layer dimension 16).
+RegionPartition partition_regions(const CsrMatrix& sorted_adjacency,
+                                  const AcceleratorConfig& config,
+                                  std::size_t out_row_lines = 1);
+
+// HyMM's tiled storage: region 1 kept in CSC (OP traversal order),
+// the remaining rows in CSR (RWP traversal order). This is the
+// "CSC (region 1), CSR (others)" compression row of Table I.
+class TiledAdjacency {
+ public:
+  static TiledAdjacency build(const CsrMatrix& sorted_adjacency,
+                              const RegionPartition& partition);
+
+  const RegionPartition& partition() const { return partition_; }
+
+  // Rows [0, region1_rows) over all columns, in CSC.
+  const CscMatrix& region1_csc() const { return region1_; }
+
+  // Rows [region1_rows, n) over all columns, in CSR (rows rebased so
+  // local row 0 is global row region1_rows).
+  const CsrMatrix& region23_csr() const { return region23_; }
+
+  // Bytes of the tiled format: both compressed blocks plus the tile
+  // descriptor. Compared against the flat CSR/CSC footprint to
+  // reproduce Fig 6.
+  std::size_t storage_bytes() const;
+
+ private:
+  RegionPartition partition_;
+  CscMatrix region1_;
+  CsrMatrix region23_;
+};
+
+// Fig 6 data point: relative storage overhead of the tiled format
+// versus the flat compressed matrix, e.g. 0.102 (=10.2 %) for Cora in
+// the paper.
+double tiled_storage_overhead(const CsrMatrix& sorted_adjacency,
+                              const RegionPartition& partition);
+
+}  // namespace hymm

@@ -1,0 +1,75 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace hymm {
+
+DenseMatrix::DenseMatrix(NodeId rows, NodeId cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0f) {}
+
+DenseMatrix DenseMatrix::zeros(NodeId rows, NodeId cols) {
+  return DenseMatrix(rows, cols);
+}
+
+DenseMatrix DenseMatrix::random(NodeId rows, NodeId cols,
+                                std::uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  Rng rng(seed);
+  for (Value& v : m.data_) {
+    v = static_cast<Value>(rng.next_double(-0.5, 0.5));
+  }
+  return m;
+}
+
+Value& DenseMatrix::at(NodeId r, NodeId c) {
+  HYMM_DCHECK(r < rows_ && c < cols_);
+  return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+Value DenseMatrix::at(NodeId r, NodeId c) const {
+  HYMM_DCHECK(r < rows_ && c < cols_);
+  return data_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+std::span<Value> DenseMatrix::row(NodeId r) {
+  HYMM_DCHECK(r < rows_);
+  return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+}
+
+std::span<const Value> DenseMatrix::row(NodeId r) const {
+  HYMM_DCHECK(r < rows_);
+  return {data_.data() + static_cast<std::size_t>(r) * cols_, cols_};
+}
+
+void DenseMatrix::fill(Value v) { std::fill(data_.begin(), data_.end(), v); }
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  HYMM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a.data_[i]) - b.data_[i]));
+  }
+  return worst;
+}
+
+bool DenseMatrix::allclose(const DenseMatrix& a, const DenseMatrix& b,
+                           double rtol, double atol) {
+  HYMM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    const double diff =
+        std::abs(static_cast<double>(a.data_[i]) - b.data_[i]);
+    if (diff > atol + rtol * std::abs(static_cast<double>(b.data_[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hymm

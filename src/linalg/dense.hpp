@@ -1,0 +1,50 @@
+// Row-major dense matrix used for weights, combination outputs and
+// golden-model results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hymm {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(NodeId rows, NodeId cols);
+
+  static DenseMatrix zeros(NodeId rows, NodeId cols);
+  // Uniform values in [-0.5, 0.5) — Glorot-style weight init range.
+  static DenseMatrix random(NodeId rows, NodeId cols, std::uint64_t seed);
+
+  NodeId rows() const { return rows_; }
+  NodeId cols() const { return cols_; }
+
+  Value& at(NodeId r, NodeId c);
+  Value at(NodeId r, NodeId c) const;
+
+  std::span<Value> row(NodeId r);
+  std::span<const Value> row(NodeId r) const;
+
+  const std::vector<Value>& data() const { return data_; }
+
+  void fill(Value v);
+
+  // Max absolute difference over all entries (shapes must match).
+  static double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+  // Relative closeness test: |a - b| <= atol + rtol * |b| elementwise.
+  static bool allclose(const DenseMatrix& a, const DenseMatrix& b,
+                       double rtol = 1e-4, double atol = 1e-5);
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  NodeId rows_ = 0;
+  NodeId cols_ = 0;
+  std::vector<Value> data_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,85 @@
+#include "linalg/gcn.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/spdemm.hpp"
+
+namespace hymm {
+
+CsrMatrix normalize_adjacency(const CsrMatrix& adjacency,
+                              bool add_self_loops) {
+  HYMM_CHECK(adjacency.rows() == adjacency.cols());
+  const NodeId n = adjacency.rows();
+  CooMatrix coo = adjacency.to_coo();
+  if (add_self_loops) {
+    for (NodeId i = 0; i < n; ++i) coo.add(i, i, 1.0f);
+    coo.sort_and_merge();
+  }
+  // Degree = row sum of |values| (unit-weight graphs: the degree).
+  std::vector<double> degree(n, 0.0);
+  for (const Triplet& t : coo.entries()) degree[t.row] += std::abs(t.value);
+  std::vector<double> inv_sqrt(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    inv_sqrt[i] = degree[i] > 0.0 ? 1.0 / std::sqrt(degree[i]) : 0.0;
+  }
+  CooMatrix normalized(n, n);
+  for (const Triplet& t : coo.entries()) {
+    const auto v = static_cast<Value>(t.value * inv_sqrt[t.row] *
+                                      inv_sqrt[t.col]);
+    normalized.add(t.row, t.col, v);
+  }
+  return CsrMatrix::from_coo(std::move(normalized));
+}
+
+void relu_inplace(DenseMatrix& m) {
+  for (NodeId r = 0; r < m.rows(); ++r) {
+    for (Value& v : m.row(r)) {
+      if (v < 0.0f) v = 0.0f;
+    }
+  }
+}
+
+CsrMatrix dense_to_csr(const DenseMatrix& m) {
+  CooMatrix coo(m.rows(), m.cols());
+  for (NodeId r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (NodeId c = 0; c < m.cols(); ++c) {
+      if (row[c] != 0.0f) coo.add(r, c, row[c]);
+    }
+  }
+  return CsrMatrix::from_coo(std::move(coo));
+}
+
+GcnLayerResult gcn_layer_reference(const CsrMatrix& a_hat,
+                                   const CsrMatrix& features,
+                                   const DenseMatrix& weights,
+                                   bool apply_relu) {
+  HYMM_CHECK(a_hat.rows() == a_hat.cols());
+  HYMM_CHECK(a_hat.cols() == features.rows());
+  HYMM_CHECK(features.cols() == weights.rows());
+  GcnLayerResult result;
+  result.combination = sparse_times_dense(features, weights);
+  result.aggregation = spdemm_row_wise(a_hat, result.combination);
+  result.activation = result.aggregation;
+  if (apply_relu) relu_inplace(result.activation);
+  return result;
+}
+
+DenseMatrix gcn_inference_reference(const CsrMatrix& a_hat,
+                                    const CsrMatrix& features,
+                                    const std::vector<DenseMatrix>& weights) {
+  HYMM_CHECK_MSG(!weights.empty(), "need at least one layer");
+  CsrMatrix x = features;
+  DenseMatrix h;
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    const bool last = l + 1 == weights.size();
+    GcnLayerResult layer =
+        gcn_layer_reference(a_hat, x, weights[l], /*apply_relu=*/!last);
+    h = std::move(layer.activation);
+    if (!last) x = dense_to_csr(h);
+  }
+  return h;
+}
+
+}  // namespace hymm

@@ -1,0 +1,64 @@
+#include "linalg/spdemm.hpp"
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+DenseMatrix spdemm_row_wise(const CsrMatrix& a, const DenseMatrix& b) {
+  HYMM_CHECK_MSG(a.cols() == b.rows(), "shape mismatch: A is "
+                                           << a.rows() << "x" << a.cols()
+                                           << ", B has " << b.rows()
+                                           << " rows");
+  DenseMatrix c(a.rows(), b.cols());
+  for (NodeId i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    auto out = c.row(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Value scalar = vals[k];
+      const auto in = b.row(cols[k]);
+      for (NodeId d = 0; d < b.cols(); ++d) out[d] += scalar * in[d];
+    }
+  }
+  return c;
+}
+
+DenseMatrix spdemm_outer(const CscMatrix& a, const DenseMatrix& b) {
+  HYMM_CHECK_MSG(a.cols() == b.rows(), "shape mismatch: A is "
+                                           << a.rows() << "x" << a.cols()
+                                           << ", B has " << b.rows()
+                                           << " rows");
+  DenseMatrix c(a.rows(), b.cols());
+  for (NodeId j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    const auto in = b.row(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const Value scalar = vals[k];
+      auto out = c.row(rows[k]);
+      for (NodeId d = 0; d < b.cols(); ++d) out[d] += scalar * in[d];
+    }
+  }
+  return c;
+}
+
+DenseMatrix sparse_times_dense(const CsrMatrix& x, const DenseMatrix& w) {
+  return spdemm_row_wise(x, w);
+}
+
+DenseMatrix dense_times_dense(const DenseMatrix& a, const DenseMatrix& b) {
+  HYMM_CHECK(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (NodeId i = 0; i < a.rows(); ++i) {
+    for (NodeId k = 0; k < a.cols(); ++k) {
+      const Value scalar = a.at(i, k);
+      if (scalar == 0.0f) continue;
+      const auto in = b.row(k);
+      auto out = c.row(i);
+      for (NodeId d = 0; d < b.cols(); ++d) out[d] += scalar * in[d];
+    }
+  }
+  return c;
+}
+
+}  // namespace hymm

@@ -1,0 +1,27 @@
+// Reference (host-side, untimed) SpDeMM kernels. These are the golden
+// models the cycle-level engines are verified against, and they also
+// mirror the two dataflows of paper Fig 1 so the dataflow order of
+// operations itself is unit-testable.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "linalg/dense.hpp"
+
+namespace hymm {
+
+// Row-wise product (Fig 1a): C[i,:] = sum_j A[i,j] * B[j,:], computed
+// one output row at a time with an output-stationary accumulator.
+DenseMatrix spdemm_row_wise(const CsrMatrix& a, const DenseMatrix& b);
+
+// Outer product (Fig 1b): for each column j of A, scatter
+// A[i,j] * B[j,:] into C[i,:]; partial outputs accumulate in C.
+DenseMatrix spdemm_outer(const CscMatrix& a, const DenseMatrix& b);
+
+// Sparse x sparse-row-store x dense used by the combination phase:
+// XW = X * W where X is sparse (CSR) and W dense.
+DenseMatrix sparse_times_dense(const CsrMatrix& x, const DenseMatrix& w);
+
+// Dense x dense reference for small tests.
+DenseMatrix dense_times_dense(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace hymm

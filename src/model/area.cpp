@@ -1,0 +1,73 @@
+#include "model/area.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+namespace {
+
+// Coefficients calibrated against Table III (paper configuration:
+// 16 MACs, 256 KB DMB, 4+12 KB SMQ, 128 x 68 B LSQ).
+constexpr double kMacArea7nm = 0.006 / 16.0;          // mm^2 per MAC
+constexpr double kDmbArea7nmPerKb = 0.077 / 256.0;    // dual-ported SRAM
+constexpr double kSmqArea7nmPerKb = 0.008 / 16.0;     // single-ported SRAM
+constexpr double kLsqArea7nmPerEntry = 0.009 / 128.0; // searchable queue
+constexpr double kOthersArea7nm = 0.004;              // control, NoC, misc
+
+// Per-component 7 nm -> 40 nm scale factors implied by Table III.
+constexpr double kPeScale = 0.21 / 0.006;
+constexpr double kDmbScale = 2.39 / 0.077;
+constexpr double kSmqScale = 0.254 / 0.008;
+constexpr double kLsqScale = 0.292 / 0.009;
+constexpr double kOthersScale = 0.129 / 0.004;
+
+std::string kb_string(std::size_t bytes) {
+  std::ostringstream oss;
+  oss << bytes / 1024 << " KB";
+  return oss.str();
+}
+
+}  // namespace
+
+AreaReport estimate_area(const AcceleratorConfig& config) {
+  config.validate();
+  AreaReport report;
+
+  const double pe_7nm = kMacArea7nm * static_cast<double>(config.pe_count);
+  report.components.push_back(
+      {"PE Array", std::to_string(config.pe_count) + " MAC", pe_7nm,
+       pe_7nm * kPeScale});
+
+  const double dmb_kb = static_cast<double>(config.dmb_bytes) / 1024.0;
+  const double dmb_7nm = kDmbArea7nmPerKb * dmb_kb;
+  report.components.push_back(
+      {"DMB", kb_string(config.dmb_bytes), dmb_7nm, dmb_7nm * kDmbScale});
+
+  const std::size_t smq_bytes =
+      config.smq_pointer_bytes + config.smq_index_bytes;
+  const double smq_7nm =
+      kSmqArea7nmPerKb * static_cast<double>(smq_bytes) / 1024.0;
+  report.components.push_back(
+      {"SMQ", kb_string(smq_bytes), smq_7nm, smq_7nm * kSmqScale});
+
+  const double lsq_7nm =
+      kLsqArea7nmPerEntry * static_cast<double>(config.lsq_entries);
+  std::ostringstream lsq_cfg;
+  lsq_cfg << config.lsq_entries << " Entries, " << config.lsq_entry_bytes
+          << "B/Entry";
+  report.components.push_back(
+      {"LSQ", lsq_cfg.str(), lsq_7nm, lsq_7nm * kLsqScale});
+
+  report.components.push_back(
+      {"Others", "-", kOthersArea7nm, kOthersArea7nm * kOthersScale});
+
+  for (const ComponentArea& c : report.components) {
+    report.total_7nm_mm2 += c.area_7nm_mm2;
+    report.total_40nm_mm2 += c.area_40nm_mm2;
+  }
+  return report;
+}
+
+}  // namespace hymm

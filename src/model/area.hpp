@@ -1,0 +1,42 @@
+// Analytic area model (paper Table III).
+//
+// The paper synthesizes HyMM with Synopsys Design Compiler on the
+// ASAP 7 nm PDK and sizes memories with CACTI 7.0, then scales to
+// TSMC 40 nm to compare against prior accelerators. Neither tool is
+// redistributable, so this model uses per-component coefficients
+// calibrated to reproduce Table III exactly at the paper's
+// configuration and to extrapolate linearly for design-space sweeps
+// (DESIGN.md section 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace hymm {
+
+struct ComponentArea {
+  std::string name;           // "PE Array", "DMB", ...
+  std::string configuration;  // "16 MAC", "256 KB", ...
+  double area_7nm_mm2 = 0.0;
+  double area_40nm_mm2 = 0.0;
+};
+
+struct AreaReport {
+  std::vector<ComponentArea> components;
+  double total_7nm_mm2 = 0.0;
+  double total_40nm_mm2 = 0.0;
+};
+
+// Estimates component and total areas for an accelerator
+// configuration. With the default AcceleratorConfig this reproduces
+// the paper's Table III.
+AreaReport estimate_area(const AcceleratorConfig& config);
+
+// Reference totals the paper reports for the baselines' accelerators
+// (Section V): GCNAX 6.51 mm^2, GROW 2.291 mm^2 (40 nm).
+inline constexpr double kGcnaxArea40nm = 6.51;
+inline constexpr double kGrowArea40nm = 2.291;
+
+}  // namespace hymm

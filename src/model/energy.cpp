@@ -1,0 +1,91 @@
+#include "model/energy.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+namespace {
+
+double sram_access_pj(double base_pj_64kb, std::size_t capacity_bytes) {
+  const double ratio =
+      static_cast<double>(capacity_bytes) / (64.0 * 1024.0);
+  return base_pj_64kb * std::sqrt(std::max(ratio, 1.0 / 64.0));
+}
+
+constexpr double kPjToUj = 1e-6;
+
+}  // namespace
+
+double EnergyReport::average_power_w(double clock_ghz, Cycle cycles) const {
+  if (cycles == 0) return 0.0;
+  const double seconds =
+      static_cast<double>(cycles) / (clock_ghz * 1e9);
+  return total_uj * 1e-6 / seconds;
+}
+
+EnergyReport estimate_energy(const SimStats& stats,
+                             const AcceleratorConfig& config,
+                             const EnergyCoefficients& coefficients) {
+  config.validate();
+  EnergyReport report;
+
+  // PE array: MACs plus merge adds.
+  const double pe_uj =
+      (static_cast<double>(stats.mac_ops) * coefficients.mac_pj +
+       static_cast<double>(stats.merge_adds) * coefficients.merge_add_pj) *
+      kPjToUj;
+  report.components.push_back({"PE Array", pe_uj});
+
+  // DMB: every hit, accumulate, miss fill and eviction touches the
+  // array once.
+  const std::uint64_t dmb_accesses =
+      stats.dmb_read_hits + stats.dmb_read_misses +
+      stats.dmb_accumulate_hits + stats.dmb_accumulate_misses +
+      stats.dmb_evictions;
+  const double dmb_uj =
+      static_cast<double>(dmb_accesses) *
+      sram_access_pj(coefficients.sram_pj_per_access_64kb,
+                     config.dmb_bytes) *
+      kPjToUj;
+  report.components.push_back({"DMB", dmb_uj});
+
+  // SMQ: one buffer access per 64 bytes of compressed stream.
+  const std::uint64_t smq_bytes =
+      stats.dram_read_bytes[static_cast<std::size_t>(
+          TrafficClass::kAdjacency)] +
+      stats.dram_read_bytes[static_cast<std::size_t>(
+          TrafficClass::kFeatures)];
+  const double smq_uj =
+      static_cast<double>(smq_bytes / kLineBytes) *
+      sram_access_pj(coefficients.sram_pj_per_access_64kb,
+                     config.smq_pointer_bytes + config.smq_index_bytes) *
+      kPjToUj;
+  report.components.push_back({"SMQ", smq_uj});
+
+  // LSQ: one CAM/array access per load and store.
+  const double lsq_uj =
+      static_cast<double>(stats.lsq_loads + stats.lsq_stores) *
+      sram_access_pj(coefficients.sram_pj_per_access_64kb,
+                     config.lsq_entries * config.lsq_entry_bytes) *
+      kPjToUj;
+  report.components.push_back({"LSQ", lsq_uj});
+
+  // Off-chip DRAM.
+  const double dram_uj = static_cast<double>(stats.dram_total_bytes()) *
+                         coefficients.dram_pj_per_byte * kPjToUj;
+  report.components.push_back({"DRAM", dram_uj});
+
+  // Static energy.
+  const double static_uj = static_cast<double>(stats.cycles) *
+                           coefficients.static_pj_per_cycle * kPjToUj;
+  report.components.push_back({"Static", static_uj});
+
+  for (const ComponentEnergy& c : report.components) {
+    report.total_uj += c.energy_uj;
+  }
+  return report;
+}
+
+}  // namespace hymm

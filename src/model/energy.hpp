@@ -1,0 +1,58 @@
+// Counter-driven energy model.
+//
+// The paper reports area only, but its baselines (GCNAX, GROW) are
+// evaluated on energy too, so a reproduction repo needs one: this
+// model folds a run's SimStats into component energies using
+// per-event coefficients in the style of those papers (compute pJ per
+// MAC, SRAM pJ per access scaled by capacity, DRAM pJ per byte, plus
+// static power per cycle). Coefficients are order-of-magnitude 40 nm
+// estimates documented below — swap them for measured numbers if you
+// have silicon.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+struct EnergyCoefficients {
+  // Compute (per 16-lane scalar-vector op).
+  double mac_pj = 8.0;        // 16 FP32 MACs @ ~0.5 pJ each (40 nm)
+  double merge_add_pj = 4.0;  // 16 FP32 adds
+
+  // On-chip SRAM, per 64-byte access, for a 64 KB array; scales with
+  // sqrt(capacity/64KB) like CACTI's access energy roughly does.
+  double sram_pj_per_access_64kb = 12.0;
+
+  // Off-chip DRAM per byte (DDR4-class).
+  double dram_pj_per_byte = 20.0;
+
+  // Static/leakage + clock per cycle for the whole accelerator.
+  double static_pj_per_cycle = 5.0;
+};
+
+struct ComponentEnergy {
+  std::string name;
+  double energy_uj = 0.0;  // microjoules
+};
+
+struct EnergyReport {
+  std::vector<ComponentEnergy> components;
+  double total_uj = 0.0;
+
+  // Average power at the configured clock (W = uJ * MHz / cycles).
+  double average_power_w(double clock_ghz, Cycle cycles) const;
+};
+
+// Folds a run's counters into an energy estimate. DMB accesses are
+// read hits + accumulate ops + evictions; SMQ accesses are derived
+// from the adjacency/feature stream bytes; LSQ from load/store
+// counts.
+EnergyReport estimate_energy(const SimStats& stats,
+                             const AcceleratorConfig& config,
+                             const EnergyCoefficients& coefficients = {});
+
+}  // namespace hymm

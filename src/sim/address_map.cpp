@@ -1,0 +1,37 @@
+#include "sim/address_map.hpp"
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+Addr AddressRegion::line_of(std::uint64_t index,
+                            std::size_t lines_per_element) const {
+  const Addr addr = base + index * lines_per_element * kLineBytes;
+  HYMM_DCHECK(contains(addr));
+  return addr;
+}
+
+AddressRegion AddressMap::allocate(std::string name, std::size_t bytes,
+                                   TrafficClass cls) {
+  const std::size_t rounded =
+      (bytes + kLineBytes - 1) / kLineBytes * kLineBytes;
+  AddressRegion region;
+  region.name = std::move(name);
+  region.base = next_;
+  region.bytes = rounded == 0 ? kLineBytes : rounded;
+  region.cls = cls;
+  next_ = region.end();
+  regions_.push_back(region);
+  return region;
+}
+
+const AddressRegion& AddressMap::region_of(Addr addr) const {
+  for (const AddressRegion& r : regions_) {
+    if (r.contains(addr)) return r;
+  }
+  HYMM_CHECK_MSG(false, "unmapped address 0x" << std::hex << addr);
+  // Unreachable; HYMM_CHECK_MSG throws.
+  return regions_.front();
+}
+
+}  // namespace hymm

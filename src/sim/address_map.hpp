@@ -1,0 +1,44 @@
+// Logical DRAM address space of the accelerator. Each matrix gets a
+// line-aligned region from a bump allocator; the map answers which
+// region (and traffic class) an address belongs to, which keeps
+// engine-issued requests honest under HYMM_DCHECK.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+struct AddressRegion {
+  std::string name;
+  Addr base = 0;
+  std::size_t bytes = 0;  // line-aligned
+  TrafficClass cls = TrafficClass::kAdjacency;
+
+  Addr end() const { return base + bytes; }
+  bool contains(Addr a) const { return a >= base && a < end(); }
+
+  // Line address of element `index` given a per-element line count.
+  Addr line_of(std::uint64_t index, std::size_t lines_per_element = 1) const;
+};
+
+class AddressMap {
+ public:
+  // Reserves a region of at least `bytes` (rounded up to lines).
+  AddressRegion allocate(std::string name, std::size_t bytes,
+                         TrafficClass cls);
+
+  // Region lookup; throws when the address is unmapped.
+  const AddressRegion& region_of(Addr addr) const;
+
+  const std::vector<AddressRegion>& regions() const { return regions_; }
+
+ private:
+  Addr next_ = 0x1000;  // keep address 0 unmapped to catch bugs
+  std::vector<AddressRegion> regions_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,307 @@
+#include "sim/dmb.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/tags.hpp"
+
+namespace hymm {
+
+DenseMatrixBuffer::DenseMatrixBuffer(const AcceleratorConfig& config,
+                                     Dram& dram, SimStats& stats)
+    : capacity_lines_(config.dmb_lines()),
+      hit_latency_(config.dmb_hit_latency),
+      dram_latency_(config.dram_latency),
+      mshr_capacity_(config.dmb_mshr_entries),
+      policy_(config.eviction_policy),
+      dram_(dram),
+      stats_(stats) {
+  HYMM_CHECK(capacity_lines_ > 0);
+  lines_.reserve(capacity_lines_ * 2);
+}
+
+std::uint64_t DenseMatrixBuffer::dram_tag_for(Addr line) const {
+  return make_tag(kDmbTagSource, line);
+}
+
+void DenseMatrixBuffer::touch(Addr line, LineState& state) {
+  if (policy_ != EvictionPolicy::kLru) return;
+  auto& list = list_for(state.cls);
+  list.erase(state.lru_it);
+  state.lru_it = list.insert(list.end(), line);
+}
+
+DenseMatrixBuffer::ReadResult DenseMatrixBuffer::read(Addr line,
+                                                      TrafficClass cls,
+                                                      std::uint64_t waiter_tag,
+                                                      Cycle now) {
+  const auto it = lines_.find(line);
+  if (it != lines_.end()) {
+    ++stats_.dmb_read_hits;
+    touch(line, it->second);
+    pending_hits_.push_back(PendingHit{waiter_tag, now + hit_latency_});
+    return ReadResult::kHit;
+  }
+
+  // An in-flight prefetch covers this line: the waiter gets the data
+  // on arrival without consuming an MSHR.
+  const auto pf_it = prefetch_inflight_.find(line);
+  if (pf_it != prefetch_inflight_.end()) {
+    ++stats_.dmb_read_hits;
+    pending_hits_.push_back(PendingHit{
+        waiter_tag, std::max(now + hit_latency_, pf_it->second)});
+    return ReadResult::kHit;
+  }
+
+  const auto mshr_it = mshrs_.find(line);
+  if (mshr_it != mshrs_.end()) {
+    // Secondary miss: piggyback on the outstanding fill.
+    ++stats_.dmb_read_misses;
+    mshr_it->second.waiters.push_back(waiter_tag);
+    return ReadResult::kMiss;
+  }
+
+  if (mshrs_.size() >= mshr_capacity_ || !dram_.can_accept_read()) {
+    return ReadResult::kReject;
+  }
+
+  ++stats_.dmb_read_misses;
+  Mshr mshr;
+  mshr.cls = cls;
+  mshr.waiters.push_back(waiter_tag);
+  mshrs_.emplace(line, std::move(mshr));
+  dram_.issue_read(line, cls, dram_tag_for(line), now);
+  return ReadResult::kMiss;
+}
+
+bool DenseMatrixBuffer::install(Addr line, TrafficClass cls, bool dirty,
+                                Cycle now, bool ignore_write_bp) {
+  const auto it = lines_.find(line);
+  if (it != lines_.end()) {
+    it->second.dirty = it->second.dirty || dirty;
+    if (it->second.cls != cls) {
+      // Reclassified line (e.g. an XW line rewritten): move it to the
+      // appropriate recency tier.
+      list_for(it->second.cls).erase(it->second.lru_it);
+      auto& list = list_for(cls);
+      it->second.lru_it = list.insert(list.end(), line);
+      it->second.cls = cls;
+    } else {
+      touch(line, it->second);
+    }
+    return true;
+  }
+  while (lines_.size() >= capacity_lines_) {
+    if (!evict_one(now, ignore_write_bp)) return false;
+  }
+  LineState state;
+  state.cls = cls;
+  state.dirty = dirty;
+  auto& list = list_for(cls);
+  state.lru_it = list.insert(list.end(), line);
+  lines_.emplace(line, state);
+  return true;
+}
+
+bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
+  for (auto* list : {&data_lru_, &partial_lru_}) {
+    for (auto it = list->begin(); it != list->end(); ++it) {
+      const Addr victim = *it;
+      auto state_it = lines_.find(victim);
+      HYMM_DCHECK(state_it != lines_.end());
+      if (state_it->second.pinned) continue;
+      if (state_it->second.dirty) {
+        // A dirty victim needs a writeback slot; stall the allocation
+        // under write back-pressure instead of booking unbounded
+        // bandwidth.
+        if (!ignore_write_bp && !dram_.can_accept_write(now)) return false;
+        dram_.issue_write(victim, state_it->second.cls, now);
+        if (state_it->second.cls == TrafficClass::kPartial) {
+          // Spilled partial stays live (unmerged) in DRAM; footprint
+          // is unchanged, but the spill itself is counted.
+          ++stats_.dmb_partial_spills;
+        }
+      }
+      list->erase(it);
+      lines_.erase(state_it);
+      ++stats_.dmb_evictions;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DenseMatrixBuffer::write_allocate(Addr line, TrafficClass cls,
+                                       Cycle now) {
+  return install(line, cls, /*dirty=*/true, now);
+}
+
+bool DenseMatrixBuffer::write_through(Addr line, TrafficClass cls,
+                                      Cycle now) {
+  if (!dram_.can_accept_write(now)) return false;
+  dram_.issue_write(line, cls, now);
+  return true;
+}
+
+bool DenseMatrixBuffer::accumulate(Addr line, Cycle now) {
+  const auto it = lines_.find(line);
+  if (it != lines_.end()) {
+    HYMM_DCHECK(it->second.cls == TrafficClass::kPartial);
+    ++stats_.dmb_accumulate_hits;
+    ++stats_.merge_adds;
+    it->second.dirty = true;
+    touch(line, it->second);
+    return true;
+  }
+  if (!install(line, TrafficClass::kPartial, /*dirty=*/true, now)) {
+    return false;
+  }
+  ++stats_.dmb_accumulate_misses;
+  stats_.note_partial_bytes(static_cast<std::int64_t>(kLineBytes));
+  return true;
+}
+
+bool DenseMatrixBuffer::contains(Addr line) const {
+  return lines_.contains(line);
+}
+
+bool DenseMatrixBuffer::prefetch(Addr line, TrafficClass cls, Cycle now) {
+  if (lines_.contains(line) || mshrs_.contains(line) ||
+      prefetch_inflight_.contains(line)) {
+    return false;
+  }
+  // Prefetches ride the same headroom window as writes so a saturated
+  // channel throttles them before they starve demand traffic.
+  if (!dram_.can_accept_write(now)) return false;
+  dram_.issue_streaming_read(cls, now);
+  const Cycle ready = now + dram_latency_;
+  pending_prefetches_.push_back(PendingPrefetch{line, cls, ready});
+  prefetch_inflight_.emplace(line, ready);
+  return true;
+}
+
+void DenseMatrixBuffer::demote_class(TrafficClass cls) {
+  HYMM_CHECK_MSG(cls != TrafficClass::kPartial,
+                 "partial lines cannot be demoted");
+  // Stable partition: demoted lines first (oldest), others keep
+  // their relative recency.
+  std::list<Addr> demoted;
+  for (auto it = data_lru_.begin(); it != data_lru_.end();) {
+    auto state_it = lines_.find(*it);
+    HYMM_DCHECK(state_it != lines_.end());
+    if (state_it->second.cls == cls) {
+      demoted.push_back(*it);
+      state_it->second.lru_it = std::prev(demoted.end());
+      it = data_lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  data_lru_.splice(data_lru_.begin(), demoted);
+}
+
+bool DenseMatrixBuffer::pin_partial(Addr line, Cycle now) {
+  if (pinned_count_ >= capacity_lines_) return false;
+  // Pinning happens at phase start and must not fail on transient
+  // write back-pressure: the evicted combination lines book their
+  // writeback bandwidth and the phase simply starts later.
+  if (!install(line, TrafficClass::kPartial, /*dirty=*/true, now,
+               /*ignore_write_bp=*/true)) {
+    return false;
+  }
+  auto& state = lines_.at(line);
+  if (!state.pinned) {
+    state.pinned = true;
+    ++pinned_count_;
+    stats_.note_partial_bytes(static_cast<std::int64_t>(kLineBytes));
+  }
+  return true;
+}
+
+void DenseMatrixBuffer::unpin_and_writeback_outputs(Cycle now) {
+  for (auto it = lines_.begin(); it != lines_.end();) {
+    if (!it->second.pinned) {
+      ++it;
+      continue;
+    }
+    dram_.issue_write(it->first, TrafficClass::kOutput, now);
+    stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
+    --pinned_count_;
+    list_for(it->second.cls).erase(it->second.lru_it);
+    it = lines_.erase(it);
+  }
+  HYMM_DCHECK(pinned_count_ == 0);
+}
+
+bool DenseMatrixBuffer::writeback_one_partial(TrafficClass final_cls,
+                                              Cycle now) {
+  for (auto it = partial_lru_.begin(); it != partial_lru_.end(); ++it) {
+    auto state_it = lines_.find(*it);
+    HYMM_DCHECK(state_it != lines_.end());
+    if (state_it->second.pinned) continue;
+    dram_.issue_write(*it, final_cls, now);
+    stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
+    partial_lru_.erase(it);
+    lines_.erase(state_it);
+    return true;
+  }
+  return false;
+}
+
+void DenseMatrixBuffer::flush_dirty(Cycle now) {
+  for (auto& [line, state] : lines_) {
+    if (!state.dirty) continue;
+    dram_.issue_write(line, state.cls, now);
+    if (state.cls == TrafficClass::kPartial) {
+      stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
+    }
+    state.dirty = false;
+  }
+}
+
+void DenseMatrixBuffer::reset_contents() {
+  HYMM_CHECK_MSG(pinned_count_ == 0, "unpin before resetting the DMB");
+  lines_.clear();
+  data_lru_.clear();
+  partial_lru_.clear();
+  mshrs_.clear();
+  pending_hits_.clear();
+  ready_waiters_.clear();
+  pending_prefetches_.clear();
+  prefetch_inflight_.clear();
+}
+
+void DenseMatrixBuffer::tick(Cycle now) {
+  ready_waiters_.clear();
+  // Arrived prefetches install as clean lines (install failure under
+  // back-pressure just drops the prefetch).
+  while (!pending_prefetches_.empty() &&
+         pending_prefetches_.front().ready_cycle <= now) {
+    const PendingPrefetch& pf = pending_prefetches_.front();
+    install(pf.line, pf.cls, /*dirty=*/false, now);
+    prefetch_inflight_.erase(pf.line);
+    pending_prefetches_.pop_front();
+  }
+  // Hit-latency expirations.
+  while (!pending_hits_.empty() && pending_hits_.front().ready_cycle <= now) {
+    ready_waiters_.push_back(pending_hits_.front().tag);
+    pending_hits_.pop_front();
+  }
+  // DRAM fills addressed to us.
+  for (const std::uint64_t tag : dram_.completions()) {
+    if (tag_source(tag) != kDmbTagSource) continue;
+    const Addr line = tag_payload(tag);
+    const auto it = mshrs_.find(line);
+    HYMM_DCHECK(it != mshrs_.end());
+    // Install as a clean line; when no victim is available (e.g.
+    // everything pinned or write back-pressure) the fill bypasses the
+    // buffer — the waiters still get their data.
+    install(line, it->second.cls, /*dirty=*/false, now);
+    for (const std::uint64_t waiter : it->second.waiters) {
+      ready_waiters_.push_back(waiter);
+    }
+    mshrs_.erase(it);
+  }
+}
+
+}  // namespace hymm

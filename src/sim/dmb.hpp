@@ -1,0 +1,177 @@
+// Dense Matrix Buffer (paper Section IV-D): a unified on-chip buffer
+// for W, XW and AXW data, with MSHRs, class-aware LRU eviction
+// ("evicted in the order of W and then XW, ensuring that partial
+// outputs are retained"), line pinning for the hybrid OP phase, and a
+// near-memory accumulator that merges partial-output lines in place.
+//
+// The buffer tracks presence/dirtiness metadata only; numeric values
+// live in host-side arrays (see DESIGN.md section 5, "Data vs
+// timing").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/dram.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+class DenseMatrixBuffer {
+ public:
+  DenseMatrixBuffer(const AcceleratorConfig& config, Dram& dram,
+                    SimStats& stats);
+
+  enum class ReadResult {
+    kHit,     // waiter becomes ready after the hit latency
+    kMiss,    // waiter queued on an MSHR; ready when DRAM fills
+    kReject,  // out of MSHRs / DRAM queue full: retry next cycle
+  };
+
+  // Requests one line for reading. waiter_tag is handed back through
+  // ready_waiters() when the data is available.
+  ReadResult read(Addr line, TrafficClass cls, std::uint64_t waiter_tag,
+                  Cycle now);
+
+  // Streaming prefetch for sequential access patterns (the OP
+  // engines' stationary-row stream): books DRAM bandwidth without an
+  // MSHR and installs the line when it arrives. No-op when the line
+  // is resident or already in flight; dropped silently when the
+  // channel has no headroom. Returns true when a fetch was issued.
+  bool prefetch(Addr line, TrafficClass cls, Cycle now);
+
+  // Installs a line produced on-chip (combination result): dirty,
+  // write-allocated. Returns false if no victim can be found or the
+  // victim's writeback is blocked by DRAM write back-pressure.
+  bool write_allocate(Addr line, TrafficClass cls, Cycle now);
+
+  // Streams a line straight to DRAM without caching (final outputs,
+  // append-only partial spill records). False when the DRAM write
+  // buffer is full; the caller retries next cycle.
+  bool write_through(Addr line, TrafficClass cls, Cycle now);
+
+  // Near-memory accumulator: folds a partial-output line into the
+  // buffer. Present -> merged in place; absent -> a fresh partial
+  // line is allocated (footprint grows; an earlier spill of the same
+  // line stays live in DRAM until the merge phase). Returns false if
+  // allocation failed.
+  bool accumulate(Addr line, Cycle now);
+
+  // True when `line` is resident (test/diagnostic helper).
+  bool contains(Addr line) const;
+
+  // Marks a class dead for the upcoming phase: its resident lines
+  // move to the cold end of the recency order so they are evicted
+  // first. This is Section IV-D's "evicted in the order of W and
+  // then XW" rule — the aggregation phase demotes kWeights.
+  void demote_class(TrafficClass cls);
+
+  // Pre-allocates and pins a partial-output line for the hybrid OP
+  // phase. Pinned lines are never evicted. Returns false when the
+  // pin budget (whole capacity) is exhausted.
+  bool pin_partial(Addr line, Cycle now);
+
+  // Unpins every pinned line and streams it to DRAM as a final
+  // output write; shrinks the partial footprint accordingly.
+  void unpin_and_writeback_outputs(Cycle now);
+
+  // Writes back and removes one resident unpinned partial line as a
+  // finished output of class `final_cls`; false when none remain.
+  // Used by the OP engine's output-flush stage (one line per cycle).
+  bool writeback_one_partial(TrafficClass final_cls, Cycle now);
+
+  // Writes back every remaining dirty line (end of phase).
+  void flush_dirty(Cycle now);
+
+  // Drops all contents without traffic (end of a layer: the cached
+  // intermediates are dead). Pinned lines must be unpinned first.
+  void reset_contents();
+
+  // Delivers DRAM fills and hit-latency expirations. Call once per
+  // cycle after Dram::tick().
+  void tick(Cycle now);
+
+  // Waiter tags whose data became available this cycle.
+  const std::vector<std::uint64_t>& ready_waiters() const {
+    return ready_waiters_;
+  }
+
+  std::size_t resident_lines() const { return lines_.size(); }
+  std::size_t pinned_lines() const { return pinned_count_; }
+  bool has_pending_misses() const { return !mshrs_.empty(); }
+
+ private:
+  struct LineState {
+    TrafficClass cls = TrafficClass::kWeights;
+    bool dirty = false;
+    bool pinned = false;
+    std::list<Addr>::iterator lru_it;  // position in its recency list
+  };
+
+  struct Mshr {
+    TrafficClass cls = TrafficClass::kWeights;
+    std::vector<std::uint64_t> waiters;
+  };
+
+  struct PendingHit {
+    std::uint64_t tag = 0;
+    Cycle ready_cycle = 0;
+  };
+
+  // Inserts a (possibly dirty) line, evicting if needed. Returns
+  // false when every resident line is pinned or (unless
+  // ignore_write_bp) a dirty victim's writeback is blocked by DRAM
+  // write back-pressure.
+  bool install(Addr line, TrafficClass cls, bool dirty, Cycle now,
+               bool ignore_write_bp = false);
+
+  // Picks and removes a victim: oldest unpinned data line, else
+  // oldest unpinned partial line; writes it back if dirty.
+  bool evict_one(Cycle now, bool ignore_write_bp = false);
+
+  void touch(Addr line, LineState& state);
+
+  std::uint64_t dram_tag_for(Addr line) const;
+
+  std::size_t capacity_lines_;
+  Cycle hit_latency_;
+  Cycle dram_latency_;
+  std::size_t mshr_capacity_;
+  EvictionPolicy policy_;
+
+  std::list<Addr>& list_for(TrafficClass cls) {
+    return cls == TrafficClass::kPartial ? partial_lru_ : data_lru_;
+  }
+
+  std::unordered_map<Addr, LineState> lines_;
+  // Two recency tiers, front = oldest. Data lines (W, XW, ...) share
+  // one LRU so the phase's live working set wins regardless of class;
+  // partial-output lines are victimized only when no data line is
+  // left ("ensuring that partial outputs are retained", Section
+  // IV-D).
+  std::list<Addr> data_lru_;
+  std::list<Addr> partial_lru_;
+  std::size_t pinned_count_ = 0;
+
+  std::unordered_map<Addr, Mshr> mshrs_;
+  std::deque<PendingHit> pending_hits_;
+  std::vector<std::uint64_t> ready_waiters_;
+
+  struct PendingPrefetch {
+    Addr line = 0;
+    TrafficClass cls = TrafficClass::kCombined;
+    Cycle ready_cycle = 0;
+  };
+  std::deque<PendingPrefetch> pending_prefetches_;
+  // line -> arrival cycle of an in-flight prefetch
+  std::unordered_map<Addr, Cycle> prefetch_inflight_;
+
+  Dram& dram_;
+  SimStats& stats_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,118 @@
+#include "sim/lsq.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+LoadStoreQueue::LoadStoreQueue(const AcceleratorConfig& config,
+                               DenseMatrixBuffer& dmb, SimStats& stats)
+    : capacity_(config.lsq_entries),
+      forwarding_(config.lsq_store_to_load_forwarding),
+      dmb_(dmb),
+      stats_(stats) {}
+
+std::size_t LoadStoreQueue::free_entries() const {
+  const std::size_t used = load_entries_.size() + store_queue_.size();
+  return used >= capacity_ ? 0 : capacity_ - used;
+}
+
+std::optional<LoadStoreQueue::EntryId> LoadStoreQueue::load(Addr line,
+                                                            TrafficClass cls,
+                                                            Cycle now) {
+  (void)now;
+  if (free_entries() == 0) return std::nullopt;
+  ++stats_.lsq_loads;
+  const EntryId id = next_id_++;
+  LoadEntry entry;
+  entry.line = line;
+  entry.cls = cls;
+  if (forwarding_ && forward_lines_.contains(line)) {
+    // A store entry for this line exists (pending or already
+    // drained): forward its data without touching the memory system
+    // (Section IV-B).
+    ++stats_.lsq_forwards;
+    entry.issued = true;
+    entry.ready = true;
+  } else {
+    unissued_loads_.push_back(id);
+  }
+  load_entries_.emplace(id, entry);
+  return id;
+}
+
+bool LoadStoreQueue::is_ready(EntryId id) const {
+  const auto it = load_entries_.find(id);
+  HYMM_DCHECK(it != load_entries_.end());
+  return it != load_entries_.end() && it->second.ready;
+}
+
+void LoadStoreQueue::release_load(EntryId id) {
+  const auto it = load_entries_.find(id);
+  HYMM_CHECK_MSG(it != load_entries_.end(), "releasing unknown LSQ entry");
+  HYMM_CHECK_MSG(it->second.ready, "releasing a load that is not ready");
+  load_entries_.erase(it);
+}
+
+bool LoadStoreQueue::store(Addr line, TrafficClass cls, StoreKind kind,
+                           Cycle now) {
+  (void)now;
+  if (free_entries() == 0) return false;
+  ++stats_.lsq_stores;
+  store_queue_.push_back(StoreEntry{line, cls, kind});
+  ++forward_lines_[line];
+  forward_fifo_.push_back(line);
+  while (forward_fifo_.size() > capacity_) {
+    const Addr oldest = forward_fifo_.front();
+    forward_fifo_.pop_front();
+    const auto it = forward_lines_.find(oldest);
+    HYMM_DCHECK(it != forward_lines_.end());
+    if (--it->second == 0) forward_lines_.erase(it);
+  }
+  return true;
+}
+
+void LoadStoreQueue::tick(Cycle now) {
+  // 1. Data arriving from the DMB.
+  for (const std::uint64_t tag : dmb_.ready_waiters()) {
+    const auto it = load_entries_.find(tag);
+    // The waiter may have been forwarded-and-released already only if
+    // ids were reused — they are not, so it must exist.
+    if (it != load_entries_.end()) it->second.ready = true;
+  }
+
+  // 2. Issue loads to the DMB (retrying ones it rejected earlier).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < unissued_loads_.size(); ++i) {
+    const EntryId id = unissued_loads_[i];
+    auto& entry = load_entries_.at(id);
+    const auto result = dmb_.read(entry.line, entry.cls, id, now);
+    if (result == DenseMatrixBuffer::ReadResult::kReject) {
+      unissued_loads_[kept++] = id;
+    } else {
+      entry.issued = true;
+    }
+  }
+  unissued_loads_.resize(kept);
+
+  // 3. Drain one store per cycle.
+  if (!store_queue_.empty()) {
+    const StoreEntry& s = store_queue_.front();
+    bool done = true;
+    switch (s.kind) {
+      case StoreKind::kThrough:
+        done = dmb_.write_through(s.line, s.cls, now);
+        break;
+      case StoreKind::kAllocate:
+        done = dmb_.write_allocate(s.line, s.cls, now);
+        break;
+      case StoreKind::kAccumulate:
+        done = dmb_.accumulate(s.line, now);
+        break;
+    }
+    if (done) store_queue_.pop_front();
+  }
+}
+
+}  // namespace hymm

@@ -1,0 +1,91 @@
+// Load/Store Queue (paper Section IV-B): 128 entries shared by loads
+// and stores, store-to-load forwarding for XW produced by the
+// combination phase, and latency hiding — younger loads proceed while
+// a missed load waits. Store ordering is not tracked (output
+// addresses are unique in SpDeMM).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/dmb.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+// How a store drains into the memory system.
+enum class StoreKind {
+  kThrough,     // stream to DRAM (final output rows, spill records)
+  kAllocate,    // write-allocate in the DMB (combination XW rows)
+  kAccumulate,  // near-memory accumulator merge (partial outputs)
+};
+
+class LoadStoreQueue {
+ public:
+  using EntryId = std::uint64_t;
+
+  LoadStoreQueue(const AcceleratorConfig& config, DenseMatrixBuffer& dmb,
+                 SimStats& stats);
+
+  // Free entries right now (loads waiting for data + undrained
+  // stores both occupy entries).
+  std::size_t free_entries() const;
+
+  // Allocates a load entry. Forwarded loads (line matches an
+  // undrained store) are ready immediately. Returns nullopt when the
+  // queue is full.
+  std::optional<EntryId> load(Addr line, TrafficClass cls, Cycle now);
+
+  bool is_ready(EntryId id) const;
+
+  // Frees a ready load entry after its data was consumed.
+  void release_load(EntryId id);
+
+  // Allocates a store entry; stores drain one per cycle. Returns
+  // false when the queue is full.
+  bool store(Addr line, TrafficClass cls, StoreKind kind, Cycle now);
+
+  // Progress: collect DMB readiness, retry rejected loads, drain one
+  // store. Call once per cycle after DenseMatrixBuffer::tick().
+  void tick(Cycle now);
+
+  bool all_stores_drained() const { return store_queue_.empty(); }
+  std::size_t pending_loads() const { return load_entries_.size(); }
+
+ private:
+  struct LoadEntry {
+    Addr line = 0;
+    TrafficClass cls = TrafficClass::kCombined;
+    bool issued = false;  // accepted by the DMB
+    bool ready = false;
+  };
+
+  struct StoreEntry {
+    Addr line = 0;
+    TrafficClass cls = TrafficClass::kOutput;
+    StoreKind kind = StoreKind::kThrough;
+  };
+
+  std::size_t capacity_;
+  bool forwarding_;
+
+  EntryId next_id_ = 1;
+  std::unordered_map<EntryId, LoadEntry> load_entries_;
+  std::vector<EntryId> unissued_loads_;
+  std::deque<StoreEntry> store_queue_;
+  // Store-to-load forwarding window: the last `capacity_` stored
+  // lines. Section IV-B forwards from any matching entry — the store
+  // need not still be pending, only not yet replaced. SpDeMM output
+  // addresses are written once, so stale-data hazards cannot arise.
+  std::deque<Addr> forward_fifo_;
+  std::unordered_map<Addr, std::uint32_t> forward_lines_;
+
+  DenseMatrixBuffer& dmb_;
+  SimStats& stats_;
+};
+
+}  // namespace hymm

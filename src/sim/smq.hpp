@@ -1,0 +1,89 @@
+// Sparse Matrix Queue (paper Section IV-A): streams the compressed
+// representation (pointers, indices, values) of the active sparse
+// matrix in CSR or CSC order and hands decoded entries to the
+// engines. The pointer buffer (4 KB) and index buffer (12 KB) bound
+// the prefetch depth; refills are sequential DRAM reads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/config.hpp"
+#include "graph/csr.hpp"
+#include "sim/dram.hpp"
+#include "sim/stats.hpp"
+
+namespace hymm {
+
+// One decoded (flag, pointer, index, value) tuple of Fig 4. `outer`
+// is the row for CSR streams and the column for CSC streams.
+struct SmqEntry {
+  NodeId outer = 0;
+  NodeId inner = 0;
+  Value value = 0.0f;
+  bool first_of_outer = false;
+  bool last_of_outer = false;
+};
+
+class SparseMatrixQueue {
+ public:
+  SparseMatrixQueue(const AcceleratorConfig& config, Dram& dram,
+                    SimStats& stats);
+
+  // Begins streaming a matrix. Any previous stream must be finished.
+  // The matrix must outlive the stream. cls tags the refill traffic
+  // (kAdjacency for A, kFeatures for X).
+  void attach_csr(const CsrMatrix& matrix, TrafficClass cls);
+  void attach_csc(const CscMatrix& matrix, TrafficClass cls);
+
+  // All entries decoded AND popped.
+  bool finished() const;
+
+  // An entry is available this cycle.
+  bool has_ready() const { return !ready_.empty(); }
+  const SmqEntry& front() const;
+  void pop();
+
+  // Issues refill reads and decodes arrived lines. Call once per
+  // cycle after Dram::tick().
+  void tick(Cycle now);
+
+ private:
+  // Row-major cursor over the attached matrix; works for CSC too
+  // because CscMatrix exposes its transpose through the same shape.
+  void attach_common(TrafficClass cls, EdgeCount total_entries,
+                     NodeId outer_count);
+  void decode_entries(std::size_t count);
+
+  // Pull the next (outer, inner, value) in traversal order.
+  SmqEntry next_entry();
+
+  const CsrMatrix* csr_ = nullptr;  // exactly one of csr_/csc_ set
+  const CscMatrix* csc_ = nullptr;
+  TrafficClass cls_ = TrafficClass::kAdjacency;
+
+  EdgeCount total_entries_ = 0;
+  EdgeCount decoded_ = 0;    // entries decoded into ready_
+  EdgeCount requested_ = 0;  // entries covered by issued refills
+  NodeId outer_count_ = 0;
+
+  // Decode cursor.
+  NodeId cursor_outer_ = 0;
+  EdgeCount cursor_k_ = 0;  // index within the current outer unit
+
+  std::deque<SmqEntry> ready_;
+  std::size_t entry_capacity_ = 0;   // index-buffer bound
+  std::size_t entries_per_line_ = 0;
+  // Pointer prefetch: one pointer line covers kLineBytes/4 outer
+  // units; issued as streaming reads.
+  NodeId pointer_lines_issued_ = 0;
+
+  std::uint64_t next_refill_tag_ = 0;
+  // In-flight refills: tag payload -> entry count (FIFO by tag).
+  std::deque<std::pair<std::uint64_t, std::size_t>> inflight_refills_;
+
+  Dram& dram_;
+  SimStats& stats_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,35 @@
+#include "sim/smq_entry.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+static_assert(sizeof(PackedSmqEntry) == kPackedSmqEntryBytes,
+              "packed entry must be exactly 96 bits");
+static_assert(sizeof(Value) == sizeof(std::uint32_t),
+              "value payload assumes 32-bit floats");
+
+PackedSmqEntry pack_smq_entry(const SmqEntryFields& fields) {
+  HYMM_CHECK_MSG(fields.pointer <= kMaxSmqPointer,
+                 "SMQ pointer " << fields.pointer
+                                << " exceeds the 31-bit field");
+  PackedSmqEntry packed;
+  packed.flag_and_pointer =
+      (static_cast<std::uint32_t>(fields.format) << 31) | fields.pointer;
+  packed.index = fields.index;
+  packed.value_bits = std::bit_cast<std::uint32_t>(fields.value);
+  return packed;
+}
+
+SmqEntryFields unpack_smq_entry(const PackedSmqEntry& packed) {
+  SmqEntryFields fields;
+  fields.format = static_cast<SmqFormat>(packed.flag_and_pointer >> 31);
+  fields.pointer = packed.flag_and_pointer & kMaxSmqPointer;
+  fields.index = packed.index;
+  fields.value = std::bit_cast<Value>(packed.value_bits);
+  return fields;
+}
+
+}  // namespace hymm

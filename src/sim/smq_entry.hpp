@@ -1,0 +1,55 @@
+// Bit-level layout of an SMQ queue entry (paper Fig 4): a format flag
+// (CSR vs CSC), a pointer (output-row index in CSR mode, dense-row
+// load index in CSC mode), the non-zero's index and its value. The
+// cycle model streams decoded entries (sim/smq.hpp); this module pins
+// down the wire format itself so the storage accounting (8 bytes of
+// index+value per non-zero, 4 bytes per pointer) is grounded in a
+// concrete encoding and is unit-testable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace hymm {
+
+enum class SmqFormat : std::uint8_t {
+  kCsr = 0,  // pointer = row of the output matrix to write
+  kCsc = 1,  // pointer = row of the dense matrix to load
+};
+
+// The decoded architectural fields of one queue entry.
+struct SmqEntryFields {
+  SmqFormat format = SmqFormat::kCsr;
+  NodeId pointer = 0;  // 31 bits: outer index (row for CSR, col for CSC)
+  NodeId index = 0;    // 32 bits: inner index of the non-zero
+  Value value = 0.0f;  // 32 bits: single-precision operand
+
+  friend bool operator==(const SmqEntryFields&,
+                         const SmqEntryFields&) = default;
+};
+
+// Packed wire format: 96 bits = flag(1) | pointer(31) | index(32) |
+// value(32). Pointers are thus limited to 2^31-1 — comfortably above
+// the largest paper dataset (Yelp, 716 847 nodes).
+struct PackedSmqEntry {
+  std::uint32_t flag_and_pointer = 0;
+  std::uint32_t index = 0;
+  std::uint32_t value_bits = 0;
+
+  friend bool operator==(const PackedSmqEntry&,
+                         const PackedSmqEntry&) = default;
+};
+
+inline constexpr std::size_t kPackedSmqEntryBytes = 12;
+inline constexpr NodeId kMaxSmqPointer = 0x7FFFFFFF;
+
+// Encodes fields into the packed layout. Throws CheckError when the
+// pointer exceeds 31 bits.
+PackedSmqEntry pack_smq_entry(const SmqEntryFields& fields);
+
+// Inverse of pack_smq_entry (bit-exact round trip, including the
+// float payload).
+SmqEntryFields unpack_smq_entry(const PackedSmqEntry& packed);
+
+}  // namespace hymm

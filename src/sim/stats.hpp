@@ -1,0 +1,100 @@
+// Counters collected during simulation. One SimStats instance is
+// shared by all component models of an accelerator run; phase results
+// can be merged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hymm {
+
+// What a DRAM/DMB transaction carries. Drives the Fig 11 breakdown
+// and the class-aware eviction policy of Section IV-D.
+enum class TrafficClass : std::uint8_t {
+  kAdjacency = 0,  // compressed A (pointers + indices + values)
+  kFeatures,       // compressed X
+  kWeights,        // dense W
+  kCombined,       // dense XW (combination result)
+  kOutput,         // dense AXW (final aggregation output)
+  kPartial,        // spilled / readback partial outputs
+};
+inline constexpr std::size_t kTrafficClassCount = 6;
+
+std::string to_string(TrafficClass cls);
+
+struct SimStats {
+  Cycle cycles = 0;
+
+  // Compute.
+  std::uint64_t mac_ops = 0;        // scalar x vector MACs retired
+  Cycle alu_busy_cycles = 0;        // cycles with at least one PE op
+  std::uint64_t merge_adds = 0;     // near/far merge additions
+
+  // Dense matrix buffer.
+  std::uint64_t dmb_read_hits = 0;
+  std::uint64_t dmb_read_misses = 0;
+  std::uint64_t dmb_accumulate_hits = 0;    // in-place partial merges
+  std::uint64_t dmb_accumulate_misses = 0;  // partial line (re)allocated
+  std::uint64_t dmb_evictions = 0;
+  std::uint64_t dmb_partial_spills = 0;     // dirty partial evicted to DRAM
+
+  // Load/store queue.
+  std::uint64_t lsq_loads = 0;
+  std::uint64_t lsq_stores = 0;
+  std::uint64_t lsq_forwards = 0;  // store-to-load forwarding hits
+
+  // DRAM traffic by class.
+  std::array<std::uint64_t, kTrafficClassCount> dram_read_bytes{};
+  std::array<std::uint64_t, kTrafficClassCount> dram_write_bytes{};
+
+  // Partial-output footprint (Fig 10): bytes of unmerged partial
+  // output state, live in the DMB or spilled to DRAM.
+  std::uint64_t partial_bytes_now = 0;
+  std::uint64_t partial_bytes_peak = 0;
+
+  // Decimated time series of the footprint (Fig 10 plots usage over
+  // time): one sample per `timeline_interval` cycles, interval
+  // doubling (and samples thinning) whenever kTimelineCapacity is
+  // reached, so memory stays bounded for arbitrarily long runs.
+  static constexpr std::size_t kTimelineCapacity = 512;
+  std::vector<std::pair<Cycle, std::uint64_t>> partial_timeline;
+  Cycle timeline_interval = 256;
+  Cycle timeline_next_sample = 0;
+
+  // Records the current footprint if the sampling point was reached.
+  void maybe_sample_timeline(Cycle now);
+
+  // Fraction of sampled time the footprint exceeded `bytes`.
+  double timeline_fraction_above(std::uint64_t bytes) const;
+
+  // Derived metrics -------------------------------------------------
+  std::uint64_t dram_total_read_bytes() const;
+  std::uint64_t dram_total_write_bytes() const;
+  std::uint64_t dram_total_bytes() const;
+
+  // Read-side hit rate of the DMB including accumulate lookups
+  // (Fig 9's "proportion of requests where the target data is found
+  // in the buffers").
+  double dmb_hit_rate() const;
+
+  double alu_utilization() const;
+
+  // Fraction of the channel's peak bandwidth the run consumed.
+  double dram_bandwidth_utilization(std::size_t bytes_per_cycle) const;
+
+  void note_partial_bytes(std::int64_t delta);
+
+  // Adds counters of another phase; cycles add up, peaks take max.
+  void merge_phase(const SimStats& other);
+};
+
+// Additive counter difference `after - before` (cycles included);
+// non-additive fields (partial peaks, timeline) keep `after`'s values.
+SimStats stats_delta(const SimStats& after, const SimStats& before);
+
+}  // namespace hymm

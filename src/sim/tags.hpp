@@ -1,0 +1,30 @@
+// DRAM completion-tag name space. The single DRAM channel serves both
+// the DMB (line fills) and the SMQ (stream refills); each consumer
+// filters completions by its own prefix.
+#pragma once
+
+#include <cstdint>
+
+namespace hymm {
+
+inline constexpr std::uint64_t kTagSourceShift = 56;
+inline constexpr std::uint64_t kTagPayloadMask =
+    (std::uint64_t{1} << kTagSourceShift) - 1;
+
+inline constexpr std::uint64_t kDmbTagSource = 1;
+inline constexpr std::uint64_t kSmqTagSource = 2;
+
+constexpr std::uint64_t make_tag(std::uint64_t source,
+                                 std::uint64_t payload) {
+  return (source << kTagSourceShift) | (payload & kTagPayloadMask);
+}
+
+constexpr std::uint64_t tag_source(std::uint64_t tag) {
+  return tag >> kTagSourceShift;
+}
+
+constexpr std::uint64_t tag_payload(std::uint64_t tag) {
+  return tag & kTagPayloadMask;
+}
+
+}  // namespace hymm

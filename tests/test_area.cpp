@@ -1,0 +1,72 @@
+// Tests for the analytic area model (Table III).
+#include <gtest/gtest.h>
+
+#include "model/area.hpp"
+
+namespace hymm {
+namespace {
+
+const ComponentArea& component(const AreaReport& report,
+                               const std::string& name) {
+  for (const ComponentArea& c : report.components) {
+    if (c.name == name) return c;
+  }
+  ADD_FAILURE() << "component " << name << " missing";
+  return report.components.front();
+}
+
+TEST(AreaModel, ReproducesTableIIIAtPaperConfig) {
+  const AreaReport report = estimate_area(AcceleratorConfig{});
+  EXPECT_NEAR(component(report, "PE Array").area_7nm_mm2, 0.006, 1e-9);
+  EXPECT_NEAR(component(report, "PE Array").area_40nm_mm2, 0.21, 1e-9);
+  EXPECT_NEAR(component(report, "DMB").area_7nm_mm2, 0.077, 1e-9);
+  EXPECT_NEAR(component(report, "DMB").area_40nm_mm2, 2.39, 1e-9);
+  EXPECT_NEAR(component(report, "SMQ").area_7nm_mm2, 0.008, 1e-9);
+  EXPECT_NEAR(component(report, "SMQ").area_40nm_mm2, 0.254, 1e-9);
+  EXPECT_NEAR(component(report, "LSQ").area_7nm_mm2, 0.009, 1e-9);
+  EXPECT_NEAR(component(report, "LSQ").area_40nm_mm2, 0.292, 1e-9);
+  EXPECT_NEAR(component(report, "Others").area_7nm_mm2, 0.004, 1e-9);
+  // Component sums (the paper's printed totals, 0.106 / 3.215, carry
+  // independent rounding; our totals are the exact column sums).
+  EXPECT_NEAR(report.total_7nm_mm2, 0.104, 1e-6);
+  EXPECT_NEAR(report.total_40nm_mm2, 3.275, 1e-6);
+}
+
+TEST(AreaModel, TotalsBetweenGrowAndGcnax) {
+  // Section V: HyMM (3.215 mm^2 in the paper) is smaller than GCNAX
+  // (6.51) and larger than GROW (2.291). The model must keep that
+  // ordering.
+  const AreaReport report = estimate_area(AcceleratorConfig{});
+  EXPECT_LT(report.total_40nm_mm2, kGcnaxArea40nm);
+  EXPECT_GT(report.total_40nm_mm2, kGrowArea40nm);
+}
+
+TEST(AreaModel, ScalesLinearlyWithPeCount) {
+  AcceleratorConfig config;
+  config.pe_count = 32;
+  const AreaReport doubled = estimate_area(config);
+  EXPECT_NEAR(component(doubled, "PE Array").area_7nm_mm2, 0.012, 1e-9);
+}
+
+TEST(AreaModel, ScalesWithBufferSizes) {
+  AcceleratorConfig config;
+  config.dmb_bytes = 512 * 1024;
+  config.lsq_entries = 256;
+  const AreaReport report = estimate_area(config);
+  EXPECT_NEAR(component(report, "DMB").area_7nm_mm2, 2 * 0.077, 1e-9);
+  EXPECT_NEAR(component(report, "LSQ").area_7nm_mm2, 2 * 0.009, 1e-9);
+}
+
+TEST(AreaModel, TotalsSumComponents) {
+  const AreaReport report = estimate_area(AcceleratorConfig{});
+  double sum7 = 0.0, sum40 = 0.0;
+  for (const ComponentArea& c : report.components) {
+    sum7 += c.area_7nm_mm2;
+    sum40 += c.area_40nm_mm2;
+  }
+  EXPECT_DOUBLE_EQ(report.total_7nm_mm2, sum7);
+  EXPECT_DOUBLE_EQ(report.total_40nm_mm2, sum40);
+}
+
+}  // namespace
+}  // namespace hymm

@@ -1,0 +1,137 @@
+// Tests for the energy model and the alternative orderings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/runner.hpp"
+#include "graph/degree_sort.hpp"
+#include "graph/generator.hpp"
+#include "model/energy.hpp"
+
+namespace hymm {
+namespace {
+
+TEST(Energy, ZeroStatsZeroEnergy) {
+  const EnergyReport report =
+      estimate_energy(SimStats{}, AcceleratorConfig{});
+  EXPECT_DOUBLE_EQ(report.total_uj, 0.0);
+  EXPECT_DOUBLE_EQ(report.average_power_w(1.0, 0), 0.0);
+}
+
+TEST(Energy, ComponentsSumToTotal) {
+  SimStats stats;
+  stats.cycles = 1000;
+  stats.mac_ops = 500;
+  stats.merge_adds = 100;
+  stats.dmb_read_hits = 400;
+  stats.lsq_loads = 400;
+  stats.lsq_stores = 100;
+  stats.dram_read_bytes[0] = 64 * 100;
+  const EnergyReport report = estimate_energy(stats, AcceleratorConfig{});
+  double sum = 0.0;
+  for (const ComponentEnergy& c : report.components) sum += c.energy_uj;
+  EXPECT_DOUBLE_EQ(report.total_uj, sum);
+  EXPECT_GT(report.total_uj, 0.0);
+  EXPECT_EQ(report.components.size(), 6u);  // PE/DMB/SMQ/LSQ/DRAM/Static
+}
+
+TEST(Energy, ScalesWithWork) {
+  SimStats one;
+  one.cycles = 100;
+  one.mac_ops = 100;
+  SimStats two = one;
+  two.mac_ops = 200;
+  const AcceleratorConfig config;
+  EXPECT_GT(estimate_energy(two, config).total_uj,
+            estimate_energy(one, config).total_uj);
+}
+
+TEST(Energy, DramCoefficientDominatesSpillHeavyRuns) {
+  SimStats spilly;
+  spilly.cycles = 1000;
+  spilly.mac_ops = 100;
+  spilly.dram_write_bytes[static_cast<std::size_t>(
+      TrafficClass::kPartial)] = 10 * 1024 * 1024;
+  const EnergyReport report =
+      estimate_energy(spilly, AcceleratorConfig{});
+  const auto dram = std::find_if(
+      report.components.begin(), report.components.end(),
+      [](const ComponentEnergy& c) { return c.name == "DRAM"; });
+  ASSERT_NE(dram, report.components.end());
+  EXPECT_GT(dram->energy_uj, report.total_uj * 0.9);
+}
+
+TEST(Energy, AveragePowerUsesClock) {
+  EnergyReport report;
+  report.total_uj = 1.0;  // 1 uJ over 1000 cycles @1 GHz = 1 us -> 1 W
+  EXPECT_NEAR(report.average_power_w(1.0, 1000), 1.0, 1e-9);
+  EXPECT_NEAR(report.average_power_w(2.0, 1000), 2.0, 1e-9);
+}
+
+TEST(Energy, EndToEndHymmCheaperThanOp) {
+  const DatasetSpec cora = *find_dataset("CR");
+  const AcceleratorConfig config;
+  const DataflowComparison cmp = compare_dataflows(
+      cora, config, {Dataflow::kOuterProduct, Dataflow::kHybrid}, 0.25, 3);
+  const double op_uj =
+      estimate_energy(cmp.by_flow(Dataflow::kOuterProduct).stats, config)
+          .total_uj;
+  const double hymm_uj =
+      estimate_energy(cmp.by_flow(Dataflow::kHybrid).stats, config)
+          .total_uj;
+  EXPECT_LT(hymm_uj, op_uj);
+}
+
+CsrMatrix ordering_graph() {
+  GraphSpec spec;
+  spec.nodes = 400;
+  spec.edges = 3200;
+  spec.seed = 77;
+  return generate_power_law_graph(spec);
+}
+
+TEST(Orderings, BfsPermutationIsBijective) {
+  const CsrMatrix a = ordering_graph();
+  const auto perm = bfs_permutation(a);
+  EXPECT_NO_THROW(invert_permutation(perm));
+  EXPECT_EQ(perm.size(), a.rows());
+}
+
+TEST(Orderings, BfsCoversIsolatedNodes) {
+  CooMatrix coo(6, 6);
+  coo.add(0, 1, 1.0f);
+  coo.add(1, 0, 1.0f);
+  // Nodes 2..5 are isolated; BFS must still number them.
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  const auto perm = bfs_permutation(a);
+  EXPECT_NO_THROW(invert_permutation(perm));
+}
+
+TEST(Orderings, BfsImprovesNeighbourIdLocality) {
+  // Average |perm[u] - perm[v]| over edges should shrink vs random.
+  const CsrMatrix a = ordering_graph();
+  auto mean_span = [&](const std::vector<NodeId>& perm) {
+    double total = 0.0;
+    for (NodeId r = 0; r < a.rows(); ++r) {
+      for (const NodeId c : a.row_cols(r)) {
+        const double d = static_cast<double>(perm[r]) - perm[c];
+        total += d < 0 ? -d : d;
+      }
+    }
+    return total / static_cast<double>(a.nnz());
+  };
+  const double bfs_span = mean_span(bfs_permutation(a));
+  const double random_span =
+      mean_span(random_permutation_of(a.rows(), 5));
+  EXPECT_LT(bfs_span, random_span * 0.8);
+}
+
+TEST(Orderings, RandomPermutationDeterministicPerSeed) {
+  EXPECT_EQ(random_permutation_of(100, 1), random_permutation_of(100, 1));
+  EXPECT_NE(random_permutation_of(100, 1), random_permutation_of(100, 2));
+  EXPECT_NO_THROW(invert_permutation(random_permutation_of(100, 1)));
+}
+
+}  // namespace
+}  // namespace hymm

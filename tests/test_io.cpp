@@ -1,0 +1,151 @@
+// Tests for the edge-list / sparse-matrix I/O: round trips, format
+// options and malformed-input diagnostics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "graph/generator.hpp"
+#include "graph/io.hpp"
+
+namespace hymm {
+namespace {
+
+TEST(EdgeList, ParsesTriplesAndComments) {
+  std::istringstream in(
+      "# a comment\n"
+      "% another comment\n"
+      "\n"
+      "0 1 2.5\n"
+      "2 0\n");
+  const CsrMatrix m = load_edge_list(in);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_FLOAT_EQ(m.row_values(0)[0], 2.5f);
+  EXPECT_FLOAT_EQ(m.row_values(2)[0], 1.0f);  // default weight
+}
+
+TEST(EdgeList, SymmetrizeAndSelfLoopOptions) {
+  std::istringstream in("0 1\n1 1\n");
+  EdgeListOptions options;
+  options.symmetrize = true;
+  options.drop_self_loops = true;
+  const CsrMatrix m = load_edge_list(in, options);
+  EXPECT_EQ(m.nnz(), 2u);  // (0,1) and (1,0); self loop dropped
+  EXPECT_EQ(m.transpose(), m);
+}
+
+TEST(EdgeList, ExplicitNodeCount) {
+  std::istringstream in("0 1\n");
+  EdgeListOptions options;
+  options.nodes = 10;
+  const CsrMatrix m = load_edge_list(in, options);
+  EXPECT_EQ(m.rows(), 10u);
+
+  std::istringstream overflow("0 12\n");
+  EdgeListOptions tight;
+  tight.nodes = 4;
+  EXPECT_THROW(load_edge_list(overflow, tight), CheckError);
+}
+
+TEST(EdgeList, MalformedLinesThrowWithLineNumber) {
+  std::istringstream in("0 1\nbroken line\n");
+  try {
+    load_edge_list(in);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(EdgeList, NegativeIdsRejected) {
+  std::istringstream in("-1 2\n");
+  EXPECT_THROW(load_edge_list(in), CheckError);
+}
+
+TEST(EdgeList, DuplicateEdgesMergeWeights) {
+  std::istringstream in("0 1 1.0\n0 1 2.0\n");
+  const CsrMatrix m = load_edge_list(in);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.row_values(0)[0], 3.0f);
+}
+
+TEST(EdgeList, RoundTripThroughText) {
+  GraphSpec spec;
+  spec.nodes = 120;
+  spec.edges = 900;
+  spec.seed = 4;
+  const CsrMatrix original = generate_power_law_graph(spec);
+  std::stringstream buffer;
+  save_edge_list(original, buffer);
+  EdgeListOptions options;
+  options.nodes = original.rows();
+  const CsrMatrix loaded = load_edge_list(buffer, options);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(SparseMatrix, RoundTripPreservesShapeAndValues) {
+  FeatureSpec spec;
+  spec.nodes = 40;
+  spec.feature_length = 25;
+  spec.density = 0.3;
+  spec.seed = 9;
+  const CsrMatrix original = generate_features(spec);
+  std::stringstream buffer;
+  save_sparse_matrix(original, buffer);
+  const CsrMatrix loaded = load_sparse_matrix(buffer);
+  EXPECT_EQ(loaded.rows(), original.rows());
+  EXPECT_EQ(loaded.cols(), original.cols());
+  EXPECT_EQ(loaded.nnz(), original.nnz());
+  // Values survive the text round trip to float precision.
+  for (NodeId r = 0; r < original.rows(); ++r) {
+    const auto ov = original.row_values(r);
+    const auto lv = loaded.row_values(r);
+    ASSERT_EQ(ov.size(), lv.size());
+    for (std::size_t k = 0; k < ov.size(); ++k) {
+      EXPECT_NEAR(ov[k], lv[k], 1e-5);
+    }
+  }
+}
+
+TEST(SparseMatrix, EmptyMatrixRoundTrip) {
+  const CsrMatrix empty = CsrMatrix::from_coo(CooMatrix(5, 7));
+  std::stringstream buffer;
+  save_sparse_matrix(empty, buffer);
+  const CsrMatrix loaded = load_sparse_matrix(buffer);
+  EXPECT_EQ(loaded.rows(), 5u);
+  EXPECT_EQ(loaded.cols(), 7u);
+  EXPECT_EQ(loaded.nnz(), 0u);
+}
+
+TEST(SparseMatrix, MissingHeaderRejected) {
+  std::istringstream in("0 0 1.0\n");
+  EXPECT_THROW(load_sparse_matrix(in), CheckError);
+}
+
+TEST(SparseMatrix, TruncatedBodyRejected) {
+  std::istringstream in("%%HyMMSparse 3 3 2\n0 0 1.0\n");
+  EXPECT_THROW(load_sparse_matrix(in), CheckError);
+}
+
+TEST(IoFiles, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_file("/nonexistent/path.txt"), CheckError);
+  EXPECT_THROW(load_sparse_matrix_file("/nonexistent/path.txt"),
+               CheckError);
+}
+
+TEST(IoFiles, FileRoundTrip) {
+  GraphSpec spec;
+  spec.nodes = 30;
+  spec.edges = 120;
+  spec.seed = 2;
+  const CsrMatrix original = generate_power_law_graph(spec);
+  const std::string path = "/tmp/hymm_io_test_edges.txt";
+  save_edge_list_file(original, path);
+  EdgeListOptions options;
+  options.nodes = original.rows();
+  EXPECT_EQ(load_edge_list_file(path, options), original);
+}
+
+}  // namespace
+}  // namespace hymm

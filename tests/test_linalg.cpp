@@ -1,0 +1,143 @@
+// Tests for the dense matrix and the reference SpDeMM kernels,
+// including the property that the row-wise and outer-product
+// dataflows compute identical results.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/spdemm.hpp"
+
+namespace hymm {
+namespace {
+
+CsrMatrix random_sparse(NodeId rows, NodeId cols, double density,
+                        std::uint64_t seed) {
+  FeatureSpec spec;
+  spec.nodes = rows;
+  spec.feature_length = cols;
+  spec.density = density;
+  spec.seed = seed;
+  return generate_features(spec);
+}
+
+TEST(DenseMatrix, ZerosAndFill) {
+  DenseMatrix m = DenseMatrix::zeros(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (NodeId r = 0; r < 3; ++r) {
+    for (NodeId c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(m.at(r, c), 0.0f);
+  }
+  m.fill(2.5f);
+  EXPECT_FLOAT_EQ(m.at(2, 3), 2.5f);
+}
+
+TEST(DenseMatrix, RandomDeterministicAndInRange) {
+  const DenseMatrix a = DenseMatrix::random(10, 8, 42);
+  const DenseMatrix b = DenseMatrix::random(10, 8, 42);
+  EXPECT_EQ(a, b);
+  for (const Value v : a.data()) {
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+TEST(DenseMatrix, RowSpanAliasesStorage) {
+  DenseMatrix m = DenseMatrix::zeros(2, 3);
+  m.row(1)[2] = 7.0f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 7.0f);
+}
+
+TEST(DenseMatrix, MaxAbsDiffAndAllclose) {
+  DenseMatrix a = DenseMatrix::zeros(2, 2);
+  DenseMatrix b = DenseMatrix::zeros(2, 2);
+  b.at(1, 1) = 1e-6f;
+  EXPECT_NEAR(DenseMatrix::max_abs_diff(a, b), 1e-6, 1e-9);
+  EXPECT_TRUE(DenseMatrix::allclose(a, b));
+  b.at(0, 0) = 1.0f;
+  EXPECT_FALSE(DenseMatrix::allclose(a, b));
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows) {
+  const DenseMatrix a = DenseMatrix::zeros(2, 2);
+  const DenseMatrix b = DenseMatrix::zeros(2, 3);
+  EXPECT_THROW(DenseMatrix::max_abs_diff(a, b), CheckError);
+}
+
+TEST(Spdemm, RowWiseHandComputed) {
+  // A = [[2, 0], [0, 3]], B = [[1, 2], [3, 4]].
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 2.0f);
+  coo.add(1, 1, 3.0f);
+  const CsrMatrix a = CsrMatrix::from_coo(std::move(coo));
+  DenseMatrix b = DenseMatrix::zeros(2, 2);
+  b.at(0, 0) = 1.0f;
+  b.at(0, 1) = 2.0f;
+  b.at(1, 0) = 3.0f;
+  b.at(1, 1) = 4.0f;
+  const DenseMatrix c = spdemm_row_wise(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 9.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 12.0f);
+}
+
+TEST(Spdemm, ShapeMismatchThrows) {
+  const CsrMatrix a = random_sparse(4, 5, 0.5, 1);
+  const DenseMatrix b = DenseMatrix::zeros(6, 2);
+  EXPECT_THROW(spdemm_row_wise(a, b), CheckError);
+}
+
+TEST(Spdemm, EmptyMatrixGivesZeroOutput) {
+  const CsrMatrix a = random_sparse(4, 4, 0.0, 2);
+  const DenseMatrix b = DenseMatrix::random(4, 3, 3);
+  const DenseMatrix c = spdemm_row_wise(a, b);
+  for (const Value v : c.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Spdemm, DenseTimesDenseMatchesSparsePath) {
+  const CsrMatrix a = random_sparse(12, 9, 1.0, 4);
+  const DenseMatrix b = DenseMatrix::random(9, 7, 5);
+  // Convert the fully dense sparse matrix to DenseMatrix.
+  DenseMatrix ad = DenseMatrix::zeros(12, 9);
+  for (NodeId r = 0; r < 12; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ad.at(r, cols[k]) = vals[k];
+    }
+  }
+  const DenseMatrix via_sparse = spdemm_row_wise(a, b);
+  const DenseMatrix via_dense = dense_times_dense(ad, b);
+  EXPECT_TRUE(DenseMatrix::allclose(via_sparse, via_dense, 1e-5, 1e-6));
+}
+
+// Property: both dataflows produce the same product, across shapes
+// and densities (the functional equivalence Fig 1 illustrates).
+class DataflowEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<NodeId, NodeId, NodeId, double>> {};
+
+TEST_P(DataflowEquivalence, RowWiseEqualsOuter) {
+  const auto [m, k, n, density] = GetParam();
+  const CsrMatrix a = random_sparse(m, k, density, m * 7 + k);
+  const DenseMatrix b = DenseMatrix::random(k, n, n + 100);
+  const DenseMatrix via_rwp = spdemm_row_wise(a, b);
+  const DenseMatrix via_op = spdemm_outer(CscMatrix::from_csr(a), b);
+  EXPECT_TRUE(DenseMatrix::allclose(via_rwp, via_op, 1e-4, 1e-5))
+      << "max diff " << DenseMatrix::max_abs_diff(via_rwp, via_op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndDensities, DataflowEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 1, 1.0),
+                      std::make_tuple(16, 16, 16, 0.1),
+                      std::make_tuple(50, 30, 16, 0.05),
+                      std::make_tuple(30, 50, 8, 0.3),
+                      std::make_tuple(100, 100, 16, 0.02),
+                      std::make_tuple(64, 200, 4, 0.5),
+                      std::make_tuple(200, 64, 16, 0.9)));
+
+}  // namespace
+}  // namespace hymm

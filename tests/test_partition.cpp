@@ -1,0 +1,142 @@
+// Tests for region partitioning and the tiled storage format
+// (Sections III, IV-E, Fig 6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "graph/degree_sort.hpp"
+#include "graph/generator.hpp"
+#include "graph/partition.hpp"
+
+namespace hymm {
+namespace {
+
+CsrMatrix sorted_graph(NodeId nodes, EdgeCount edges, std::uint64_t seed) {
+  GraphSpec spec;
+  spec.nodes = nodes;
+  spec.edges = edges;
+  spec.seed = seed;
+  return degree_sort(generate_power_law_graph(spec)).sorted;
+}
+
+TEST(Partition, ThresholdCapsRegionOne) {
+  const CsrMatrix a = sorted_graph(1000, 8000, 1);
+  AcceleratorConfig config;  // DMB holds 4096 lines >> 200 rows
+  const RegionPartition p = partition_regions(a, config);
+  EXPECT_EQ(p.nodes, 1000u);
+  EXPECT_EQ(p.region1_rows, 200u);  // ceil(0.2 * 1000)
+  EXPECT_EQ(p.region2_cols, 200u);
+}
+
+TEST(Partition, DmbClampsRegionsOnLargeGraphs) {
+  // Section IV-E: "if the DMB is smaller than 20% of graph's nodes,
+  // the tiling is adjusted".
+  const CsrMatrix a = sorted_graph(4000, 30000, 2);
+  AcceleratorConfig config;
+  config.dmb_bytes = 16 * 1024;  // 256 lines
+  config.dmb_pin_fraction = 0.5;
+  const RegionPartition p = partition_regions(a, config);
+  EXPECT_EQ(p.region1_rows, 128u);  // 0.5 * 256 lines
+  EXPECT_EQ(p.region2_cols, 256u);  // whole DMB
+}
+
+TEST(Partition, NnzCountsCoverMatrixExactly) {
+  const CsrMatrix a = sorted_graph(600, 5000, 3);
+  const RegionPartition p = partition_regions(a, AcceleratorConfig{});
+  EXPECT_EQ(p.total_nnz(), a.nnz());
+  // Recount region 1 by hand.
+  EdgeCount r1 = 0;
+  for (NodeId r = 0; r < p.region1_rows; ++r) r1 += a.row_nnz(r);
+  EXPECT_EQ(p.nnz_region1, r1);
+}
+
+TEST(Partition, SortedPowerLawConcentratesNnzInRegions12) {
+  const CsrMatrix a = sorted_graph(3000, 30000, 4);
+  const RegionPartition p = partition_regions(a, AcceleratorConfig{});
+  const double dense_share =
+      static_cast<double>(p.nnz_region1 + p.nnz_region2) /
+      static_cast<double>(p.total_nnz());
+  // Fig 2: regions 1+2 capture the bulk of the edges.
+  EXPECT_GT(dense_share, 0.80);
+}
+
+TEST(Partition, RequiresSquare) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0f);
+  const CsrMatrix rect = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_THROW(partition_regions(rect, AcceleratorConfig{}), CheckError);
+}
+
+TEST(TiledAdjacency, BlocksPartitionTheMatrix) {
+  const CsrMatrix a = sorted_graph(500, 4000, 5);
+  const RegionPartition p = partition_regions(a, AcceleratorConfig{});
+  const TiledAdjacency tiled = TiledAdjacency::build(a, p);
+  EXPECT_EQ(tiled.region1_csc().nnz() + tiled.region23_csr().nnz(), a.nnz());
+  EXPECT_EQ(tiled.region1_csc().rows(), p.region1_rows);
+  EXPECT_EQ(tiled.region1_csc().cols(), a.cols());
+  EXPECT_EQ(tiled.region23_csr().rows(), a.rows() - p.region1_rows);
+}
+
+TEST(TiledAdjacency, Region1MatchesSubmatrix) {
+  const CsrMatrix a = sorted_graph(300, 2500, 6);
+  const RegionPartition p = partition_regions(a, AcceleratorConfig{});
+  const TiledAdjacency tiled = TiledAdjacency::build(a, p);
+  EXPECT_EQ(tiled.region1_csc().to_csr(),
+            a.submatrix(0, p.region1_rows, 0, a.cols()));
+  EXPECT_EQ(tiled.region23_csr(),
+            a.submatrix(p.region1_rows, a.rows(), 0, a.cols()));
+}
+
+TEST(TiledStorage, OverheadIsPositiveAndModest) {
+  // Fig 6: Cora-sized graphs pay ~10% overhead for the duplicated
+  // pointer arrays.
+  const CsrMatrix a = sorted_graph(2708, 10556, 7);
+  const RegionPartition p = partition_regions(a, AcceleratorConfig{});
+  const double overhead = tiled_storage_overhead(a, p);
+  EXPECT_GT(overhead, 0.02);
+  EXPECT_LT(overhead, 0.25);
+}
+
+TEST(TiledStorage, OverheadShrinksWithDensity) {
+  // Fig 6: "as the graph size increases, the storage overhead can
+  // decrease" — denser graphs amortize the pointer arrays.
+  const CsrMatrix sparse = sorted_graph(2000, 8000, 8);
+  const CsrMatrix dense = sorted_graph(2000, 60000, 9);
+  const AcceleratorConfig config;
+  const double sparse_overhead =
+      tiled_storage_overhead(sparse, partition_regions(sparse, config));
+  const double dense_overhead =
+      tiled_storage_overhead(dense, partition_regions(dense, config));
+  EXPECT_LT(dense_overhead, sparse_overhead);
+}
+
+TEST(TiledStorage, BytesAccountedAgainstFlat) {
+  const CsrMatrix a = sorted_graph(400, 3000, 10);
+  const RegionPartition p = partition_regions(a, AcceleratorConfig{});
+  const TiledAdjacency tiled = TiledAdjacency::build(a, p);
+  EXPECT_GT(tiled.storage_bytes(), a.storage_bytes());
+  // The extra bytes are bounded by the duplicated pointer arrays plus
+  // the descriptor.
+  const std::size_t max_extra = (a.rows() + a.cols() + 2) * 4 + 64;
+  EXPECT_LE(tiled.storage_bytes(), a.storage_bytes() + max_extra);
+}
+
+// Tiling-threshold sweep behaves monotonically in region size.
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, RegionSizesScaleWithThreshold) {
+  const CsrMatrix a = sorted_graph(1000, 9000, 11);
+  AcceleratorConfig config;
+  config.tiling_threshold = GetParam();
+  const RegionPartition p = partition_regions(a, config);
+  EXPECT_EQ(p.region1_rows,
+            static_cast<NodeId>(std::ceil(GetParam() * 1000)));
+  EXPECT_EQ(p.total_nnz(), a.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.4, 0.5));
+
+}  // namespace
+}  // namespace hymm

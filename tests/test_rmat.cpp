@@ -1,0 +1,77 @@
+// Tests for the R-MAT generator.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generator.hpp"
+
+namespace hymm {
+namespace {
+
+RmatSpec default_spec() {
+  RmatSpec spec;
+  spec.nodes = 1024;
+  spec.edges = 8000;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(Rmat, Deterministic) {
+  EXPECT_EQ(generate_rmat_graph(default_spec()),
+            generate_rmat_graph(default_spec()));
+}
+
+TEST(Rmat, EdgeTargetWithinTolerance) {
+  const CsrMatrix a = generate_rmat_graph(default_spec());
+  EXPECT_EQ(a.rows(), 1024u);
+  const double ratio = static_cast<double>(a.nnz()) / 8000.0;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LE(ratio, 1.1);
+}
+
+TEST(Rmat, SymmetricNoSelfLoops) {
+  const CsrMatrix a = generate_rmat_graph(default_spec());
+  EXPECT_EQ(a.transpose(), a);
+  for (NodeId r = 0; r < a.rows(); ++r) {
+    for (const NodeId c : a.row_cols(r)) EXPECT_NE(c, r);
+  }
+}
+
+TEST(Rmat, SkewedQuadrantsConcentrateEdges) {
+  const CsrMatrix skewed = generate_rmat_graph(default_spec());
+  RmatSpec uniform = default_spec();
+  uniform.a = uniform.b = uniform.c = uniform.d = 0.25;
+  const CsrMatrix flat = generate_rmat_graph(uniform);
+  EXPECT_GT(top_degree_edge_share(skewed, 0.20),
+            top_degree_edge_share(flat, 0.20));
+  EXPECT_GT(top_degree_edge_share(skewed, 0.20), 0.5);
+}
+
+TEST(Rmat, NonPowerOfTwoNodeCount) {
+  RmatSpec spec = default_spec();
+  spec.nodes = 1000;  // internal split uses 1024 but ids stay < 1000
+  const CsrMatrix a = generate_rmat_graph(spec);
+  EXPECT_EQ(a.rows(), 1000u);
+  for (const NodeId c : a.col_idx()) EXPECT_LT(c, 1000u);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  RmatSpec spec = default_spec();
+  spec.a = 0.9;  // sum = 1.33
+  EXPECT_THROW(generate_rmat_graph(spec), CheckError);
+  spec = default_spec();
+  spec.nodes = 1;
+  EXPECT_THROW(generate_rmat_graph(spec), CheckError);
+}
+
+TEST(Rmat, ShuffleHidesTheRecursiveOrder) {
+  RmatSpec spec = default_spec();
+  spec.shuffle_ids = false;
+  const CsrMatrix ordered = generate_rmat_graph(spec);
+  spec.shuffle_ids = true;
+  const CsrMatrix shuffled = generate_rmat_graph(spec);
+  EXPECT_EQ(ordered.nnz(), shuffled.nnz());
+  EXPECT_NE(ordered, shuffled);
+}
+
+}  // namespace
+}  // namespace hymm

@@ -1,0 +1,187 @@
+// Tests for the Load/Store Queue: capacity, store-to-load
+// forwarding, store draining and miss latency hiding.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "sim/lsq.hpp"
+
+namespace hymm {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t entries = 8, bool forwarding = true) {
+    config.lsq_entries = entries;
+    config.lsq_store_to_load_forwarding = forwarding;
+    config.dram_latency = 10;
+    config.dmb_hit_latency = 2;
+    config.dmb_bytes = 16 * kLineBytes;
+    dram = std::make_unique<Dram>(config, stats);
+    dmb = std::make_unique<DenseMatrixBuffer>(config, *dram, stats);
+    lsq = std::make_unique<LoadStoreQueue>(config, *dmb, stats);
+  }
+
+  void step(Cycle t) {
+    dram->tick(t);
+    dmb->tick(t);
+    lsq->tick(t);
+  }
+
+  Cycle run_until_ready(LoadStoreQueue::EntryId id, Cycle from,
+                        Cycle limit = 100) {
+    for (Cycle t = from; t < from + limit; ++t) {
+      step(t);
+      if (lsq->is_ready(id)) return t;
+    }
+    ADD_FAILURE() << "load " << id << " never ready";
+    return 0;
+  }
+
+  AcceleratorConfig config;
+  SimStats stats;
+  std::unique_ptr<Dram> dram;
+  std::unique_ptr<DenseMatrixBuffer> dmb;
+  std::unique_ptr<LoadStoreQueue> lsq;
+};
+
+constexpr Addr L(std::uint64_t i) { return 0x1000 + i * kLineBytes; }
+
+TEST(Lsq, LoadMissCompletesThroughDmb) {
+  Fixture f;
+  const auto id = f.lsq->load(L(0), TrafficClass::kCombined, 0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(f.lsq->is_ready(*id));
+  const Cycle done = f.run_until_ready(*id, 0);
+  EXPECT_GE(done, f.config.dram_latency);
+  f.lsq->release_load(*id);
+  EXPECT_EQ(f.lsq->pending_loads(), 0u);
+}
+
+TEST(Lsq, CapacitySharedBetweenLoadsAndStores) {
+  Fixture f(/*entries=*/4);
+  EXPECT_TRUE(f.lsq->store(L(0), TrafficClass::kOutput,
+                           StoreKind::kThrough, 0));
+  EXPECT_TRUE(f.lsq->store(L(1), TrafficClass::kOutput,
+                           StoreKind::kThrough, 0));
+  auto a = f.lsq->load(L(2), TrafficClass::kCombined, 0);
+  auto b = f.lsq->load(L(3), TrafficClass::kCombined, 0);
+  EXPECT_TRUE(a.has_value());
+  EXPECT_TRUE(b.has_value());
+  EXPECT_EQ(f.lsq->free_entries(), 0u);
+  EXPECT_FALSE(f.lsq->load(L(4), TrafficClass::kCombined, 0).has_value());
+  EXPECT_FALSE(f.lsq->store(L(5), TrafficClass::kOutput,
+                            StoreKind::kThrough, 0));
+}
+
+TEST(Lsq, StoreToLoadForwardingIsImmediate) {
+  Fixture f;
+  ASSERT_TRUE(f.lsq->store(L(0), TrafficClass::kCombined,
+                           StoreKind::kAllocate, 0));
+  const auto id = f.lsq->load(L(0), TrafficClass::kCombined, 0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(f.lsq->is_ready(*id));  // no memory round trip
+  EXPECT_EQ(f.stats.lsq_forwards, 1u);
+  f.lsq->release_load(*id);
+}
+
+TEST(Lsq, ForwardingDisabledGoesToMemory) {
+  Fixture f(/*entries=*/8, /*forwarding=*/false);
+  ASSERT_TRUE(f.lsq->store(L(0), TrafficClass::kCombined,
+                           StoreKind::kAllocate, 0));
+  const auto id = f.lsq->load(L(0), TrafficClass::kCombined, 0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(f.lsq->is_ready(*id));
+  EXPECT_EQ(f.stats.lsq_forwards, 0u);
+  // Store drains first tick and allocates the line, so the load hits.
+  f.run_until_ready(*id, 0);
+}
+
+TEST(Lsq, ForwardingPersistsAfterDrainUntilReplaced) {
+  // Section IV-B forwards from any matching LSQ entry; draining the
+  // store does not invalidate it (output addresses are write-once).
+  Fixture f(/*entries=*/4);
+  ASSERT_TRUE(f.lsq->store(L(0), TrafficClass::kCombined,
+                           StoreKind::kAllocate, 0));
+  f.step(0);  // store drains into the DMB
+  EXPECT_TRUE(f.lsq->all_stores_drained());
+  const auto id = f.lsq->load(L(0), TrafficClass::kCombined, 1);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(f.stats.lsq_forwards, 1u);
+  EXPECT_TRUE(f.lsq->is_ready(*id));
+  f.lsq->release_load(*id);
+
+  // Four newer stores push L(0) out of the 4-entry forward window.
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(f.lsq->store(L(i), TrafficClass::kOutput,
+                             StoreKind::kThrough, 2));
+    f.step(1 + i);
+  }
+  const auto later = f.lsq->load(L(0), TrafficClass::kCombined, 10);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(f.stats.lsq_forwards, 1u);  // no longer forwardable
+  // But the DMB still holds the line, so it is a fast hit.
+  const Cycle done = f.run_until_ready(*later, 10);
+  EXPECT_LE(done, 10 + f.config.dmb_hit_latency + 1);
+}
+
+TEST(Lsq, StoresDrainOnePerCycle) {
+  Fixture f;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(f.lsq->store(L(i), TrafficClass::kOutput,
+                             StoreKind::kThrough, 0));
+  }
+  f.step(0);
+  EXPECT_FALSE(f.lsq->all_stores_drained());
+  f.step(1);
+  f.step(2);
+  EXPECT_TRUE(f.lsq->all_stores_drained());
+  EXPECT_EQ(f.stats.dram_write_bytes[static_cast<std::size_t>(
+                TrafficClass::kOutput)],
+            3 * kLineBytes);
+}
+
+TEST(Lsq, YoungerLoadsOvertakeMissedLoads) {
+  // Section IV-B: "While a missed load instruction waits ... subsequent
+  // load instructions targeting addresses already present in the LSQ
+  // can continue execution."
+  Fixture f;
+  ASSERT_TRUE(f.lsq->store(L(1), TrafficClass::kCombined,
+                           StoreKind::kAllocate, 0));
+  const auto slow = f.lsq->load(L(0), TrafficClass::kCombined, 0);
+  const auto fast = f.lsq->load(L(1), TrafficClass::kCombined, 0);
+  ASSERT_TRUE(slow.has_value() && fast.has_value());
+  EXPECT_TRUE(f.lsq->is_ready(*fast));   // forwarded immediately
+  EXPECT_FALSE(f.lsq->is_ready(*slow));  // still in flight
+}
+
+TEST(Lsq, AccumulateStoreReachesAccumulator) {
+  Fixture f;
+  ASSERT_TRUE(f.lsq->store(L(0), TrafficClass::kPartial,
+                           StoreKind::kAccumulate, 0));
+  f.step(0);
+  EXPECT_EQ(f.stats.dmb_accumulate_misses, 1u);  // allocated fresh
+  ASSERT_TRUE(f.lsq->store(L(0), TrafficClass::kPartial,
+                           StoreKind::kAccumulate, 1));
+  f.step(1);
+  EXPECT_EQ(f.stats.dmb_accumulate_hits, 1u);
+}
+
+TEST(Lsq, ReleaseUnknownOrUnreadyThrows) {
+  Fixture f;
+  EXPECT_THROW(f.lsq->release_load(999), CheckError);
+  const auto id = f.lsq->load(L(0), TrafficClass::kCombined, 0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_THROW(f.lsq->release_load(*id), CheckError);  // not ready yet
+}
+
+TEST(Lsq, CountsLoadsAndStores) {
+  Fixture f;
+  (void)f.lsq->load(L(0), TrafficClass::kCombined, 0);
+  (void)f.lsq->store(L(1), TrafficClass::kOutput, StoreKind::kThrough, 0);
+  EXPECT_EQ(f.stats.lsq_loads, 1u);
+  EXPECT_EQ(f.stats.lsq_stores, 1u);
+}
+
+}  // namespace
+}  // namespace hymm

@@ -1,0 +1,235 @@
+// Unit and property tests for the COO/CSR/CSC formats and their
+// conversions.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace hymm {
+namespace {
+
+CooMatrix random_coo(NodeId rows, NodeId cols, EdgeCount entries,
+                     std::uint64_t seed) {
+  CooMatrix coo(rows, cols);
+  Rng rng(seed);
+  for (EdgeCount e = 0; e < entries; ++e) {
+    coo.add(static_cast<NodeId>(rng.next_below(rows)),
+            static_cast<NodeId>(rng.next_below(cols)),
+            static_cast<Value>(rng.next_double(-1.0, 1.0)));
+  }
+  coo.sort_and_merge();
+  return coo;
+}
+
+TEST(Coo, AddBoundsChecked) {
+  CooMatrix coo(2, 3);
+  EXPECT_NO_THROW(coo.add(1, 2, 1.0f));
+  EXPECT_THROW(coo.add(2, 0, 1.0f), CheckError);
+  EXPECT_THROW(coo.add(0, 3, 1.0f), CheckError);
+}
+
+TEST(Coo, SortAndMergeSumsDuplicates) {
+  CooMatrix coo(3, 3);
+  coo.add(1, 1, 2.0f);
+  coo.add(0, 2, 1.0f);
+  coo.add(1, 1, 3.0f);
+  coo.sort_and_merge();
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_TRUE(coo.is_canonical());
+  EXPECT_EQ(coo.entries()[0], (Triplet{0, 2, 1.0f}));
+  EXPECT_EQ(coo.entries()[1], (Triplet{1, 1, 5.0f}));
+}
+
+TEST(Coo, IsCanonicalDetectsDisorder) {
+  CooMatrix coo(3, 3);
+  coo.add(1, 0, 1.0f);
+  coo.add(0, 0, 1.0f);
+  EXPECT_FALSE(coo.is_canonical());
+  coo.sort_and_merge();
+  EXPECT_TRUE(coo.is_canonical());
+}
+
+TEST(Csr, FromCooRoundTrip) {
+  CooMatrix coo = random_coo(20, 30, 100, 1);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  CooMatrix back = csr.to_coo();
+  EXPECT_EQ(back.entries(), coo.entries());
+  EXPECT_EQ(csr.rows(), 20u);
+  EXPECT_EQ(csr.cols(), 30u);
+}
+
+TEST(Csr, FromPartsValidates) {
+  // row_ptr must start at 0, end at nnz, be monotone; col indices in
+  // range.
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 2, {0, 1}, {0}, {1.0f}),  // short row_ptr
+      CheckError);
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 2, {0, 2, 1}, {0, 1}, {1.0f, 1.0f}),
+      CheckError);
+  EXPECT_THROW(
+      CsrMatrix::from_parts(2, 2, {0, 1, 2}, {0, 5}, {1.0f, 1.0f}),
+      CheckError);
+  EXPECT_NO_THROW(
+      CsrMatrix::from_parts(2, 2, {0, 1, 2}, {0, 1}, {1.0f, 1.0f}));
+}
+
+TEST(Csr, RowAccessors) {
+  CooMatrix coo(3, 4);
+  coo.add(0, 1, 1.0f);
+  coo.add(0, 3, 2.0f);
+  coo.add(2, 0, 3.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(std::move(coo));
+  EXPECT_EQ(csr.row_nnz(0), 2u);
+  EXPECT_EQ(csr.row_nnz(1), 0u);
+  EXPECT_EQ(csr.row_nnz(2), 1u);
+  EXPECT_EQ(csr.row_cols(0)[1], 3u);
+  EXPECT_FLOAT_EQ(csr.row_values(2)[0], 3.0f);
+}
+
+TEST(Csr, TransposeIsInvolution) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(17, 23, 80, 2));
+  const CsrMatrix back = csr.transpose().transpose();
+  EXPECT_EQ(csr, back);
+}
+
+TEST(Csr, TransposeSwapsCoordinates) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(10, 12, 40, 3));
+  const CsrMatrix t = csr.transpose();
+  EXPECT_EQ(t.rows(), csr.cols());
+  EXPECT_EQ(t.cols(), csr.rows());
+  for (NodeId r = 0; r < csr.rows(); ++r) {
+    const auto cols = csr.row_cols(r);
+    const auto vals = csr.row_values(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const auto tcols = t.row_cols(cols[k]);
+      const auto tvals = t.row_values(cols[k]);
+      bool found = false;
+      for (std::size_t j = 0; j < tcols.size(); ++j) {
+        if (tcols[j] == r && tvals[j] == vals[k]) found = true;
+      }
+      EXPECT_TRUE(found) << "entry (" << r << "," << cols[k] << ") lost";
+    }
+  }
+}
+
+TEST(Csr, ColumnNnzMatchesTranspose) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(15, 9, 60, 4));
+  const auto counts = csr.column_nnz();
+  const CsrMatrix t = csr.transpose();
+  ASSERT_EQ(counts.size(), csr.cols());
+  for (NodeId c = 0; c < csr.cols(); ++c) {
+    EXPECT_EQ(counts[c], t.row_nnz(c));
+  }
+}
+
+TEST(Csr, SubmatrixExtractsAndRebases) {
+  CooMatrix coo(4, 4);
+  coo.add(0, 0, 1.0f);
+  coo.add(1, 2, 2.0f);
+  coo.add(2, 1, 3.0f);
+  coo.add(3, 3, 4.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(std::move(coo));
+  const CsrMatrix sub = csr.submatrix(1, 3, 1, 4);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.cols(), 3u);
+  ASSERT_EQ(sub.nnz(), 2u);
+  // (1,2)->(0,1) and (2,1)->(1,0)
+  EXPECT_EQ(sub.row_cols(0)[0], 1u);
+  EXPECT_FLOAT_EQ(sub.row_values(0)[0], 2.0f);
+  EXPECT_EQ(sub.row_cols(1)[0], 0u);
+  EXPECT_FLOAT_EQ(sub.row_values(1)[0], 3.0f);
+}
+
+TEST(Csr, SubmatrixBoundsChecked) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(4, 4, 6, 5));
+  EXPECT_THROW(csr.submatrix(3, 2, 0, 4), CheckError);
+  EXPECT_THROW(csr.submatrix(0, 5, 0, 4), CheckError);
+}
+
+TEST(Csr, SubmatrixPartitionPreservesAllEntries) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(30, 30, 200, 6));
+  const NodeId split = 12;
+  const CsrMatrix top = csr.submatrix(0, split, 0, 30);
+  const CsrMatrix bottom = csr.submatrix(split, 30, 0, 30);
+  EXPECT_EQ(top.nnz() + bottom.nnz(), csr.nnz());
+}
+
+TEST(Csr, PermuteSymmetricPreservesValuesUnderRelabeling) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 1.0f);
+  coo.add(1, 2, 2.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(std::move(coo));
+  // perm: 0->2, 1->0, 2->1
+  const std::vector<NodeId> perm = {2, 0, 1};
+  const CsrMatrix p = csr.permute_symmetric(perm);
+  ASSERT_EQ(p.nnz(), 2u);
+  // (0,1)->(2,0); (1,2)->(0,1)
+  EXPECT_EQ(p.row_cols(2)[0], 0u);
+  EXPECT_FLOAT_EQ(p.row_values(2)[0], 1.0f);
+  EXPECT_EQ(p.row_cols(0)[0], 1u);
+  EXPECT_FLOAT_EQ(p.row_values(0)[0], 2.0f);
+}
+
+TEST(Csr, PermuteSymmetricRequiresSquare) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(3, 4, 5, 7));
+  const std::vector<NodeId> perm = {0, 1, 2};
+  EXPECT_THROW(csr.permute_symmetric(perm), CheckError);
+}
+
+TEST(Csr, StorageBytesFormula) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(10, 10, 30, 8));
+  const std::size_t expected = (10 + 1) * 4 + csr.nnz() * 4 +
+                               csr.nnz() * sizeof(Value);
+  EXPECT_EQ(csr.storage_bytes(), expected);
+}
+
+TEST(Csc, FromCsrExposesColumnView) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 1, 1.0f);
+  coo.add(2, 1, 2.0f);
+  coo.add(1, 0, 3.0f);
+  const CsrMatrix csr = CsrMatrix::from_coo(std::move(coo));
+  const CscMatrix csc = CscMatrix::from_csr(csr);
+  EXPECT_EQ(csc.rows(), 3u);
+  EXPECT_EQ(csc.cols(), 3u);
+  EXPECT_EQ(csc.nnz(), 3u);
+  EXPECT_EQ(csc.col_nnz(1), 2u);
+  EXPECT_EQ(csc.col_rows(1)[0], 0u);
+  EXPECT_EQ(csc.col_rows(1)[1], 2u);
+  EXPECT_FLOAT_EQ(csc.col_values(1)[1], 2.0f);
+}
+
+TEST(Csc, RoundTripThroughCsr) {
+  const CsrMatrix csr = CsrMatrix::from_coo(random_coo(25, 19, 120, 9));
+  const CscMatrix csc = CscMatrix::from_csr(csr);
+  EXPECT_EQ(csc.to_csr(), csr);
+}
+
+// Property sweep: round trips hold across sizes and densities.
+class FormatRoundTrip
+    : public ::testing::TestWithParam<std::tuple<NodeId, NodeId, EdgeCount>> {
+};
+
+TEST_P(FormatRoundTrip, CooCsrCscAgree) {
+  const auto [rows, cols, entries] = GetParam();
+  CooMatrix coo = random_coo(rows, cols, entries, rows * 31 + cols);
+  const CsrMatrix csr = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(csr.to_coo().entries(), coo.entries());
+  EXPECT_EQ(CscMatrix::from_csr(csr).to_csr(), csr);
+  EXPECT_EQ(csr.transpose().transpose(), csr);
+  EXPECT_EQ(csr.nnz(), coo.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FormatRoundTrip,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(5, 5, 0),
+                      std::make_tuple(8, 3, 20), std::make_tuple(3, 8, 20),
+                      std::make_tuple(64, 64, 500),
+                      std::make_tuple(200, 100, 2000),
+                      std::make_tuple(1000, 1000, 5000)));
+
+}  // namespace
+}  // namespace hymm

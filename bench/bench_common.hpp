@@ -6,9 +6,12 @@
 //   HYMM_DATASETS=CR,AP       run a subset (abbreviations)
 //   HYMM_FULL_DATASETS=1      simulate Flickr/Yelp at full size
 //   HYMM_SCALE=0.1            override the scale for every dataset
+//   HYMM_TRACE_DIR=dir        write a Perfetto trace per dataset
+//   HYMM_JSON_DIR=dir         write a JSON run report per dataset
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -17,8 +20,10 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "core/report.hpp"
 #include "core/runner.hpp"
 #include "graph/datasets.hpp"
+#include "obs/observer.hpp"
 
 namespace hymm::bench {
 
@@ -44,6 +49,9 @@ inline double scale_for(const DatasetSpec& spec) {
 
 // Runs the three-dataflow comparison for one dataset at its bench
 // scale, announcing progress on stderr (the tables go to stdout).
+// With HYMM_TRACE_DIR / HYMM_JSON_DIR set, a trace / JSON run report
+// is written per dataset to <dir>/<abbrev>.trace.json and
+// <dir>/<abbrev>.report.json.
 inline DataflowComparison run_dataset(
     const DatasetSpec& spec,
     const AcceleratorConfig& config = AcceleratorConfig{},
@@ -53,7 +61,31 @@ inline DataflowComparison run_dataset(
   const double scale = scale_for(spec);
   std::cerr << "[bench] simulating " << spec.abbrev << " at scale " << scale
             << " ..." << std::endl;
-  return compare_dataflows(spec, config, flows, scale);
+  const char* trace_dir = std::getenv("HYMM_TRACE_DIR");
+  const char* json_dir = std::getenv("HYMM_JSON_DIR");
+  std::optional<Observer> observer;
+  if (trace_dir != nullptr || json_dir != nullptr) {
+    ObserverOptions oopts;
+    oopts.trace = trace_dir != nullptr;
+    observer.emplace(oopts);
+  }
+  DataflowComparison comparison = compare_dataflows(
+      spec, config, flows, scale, 42, observer ? &*observer : nullptr);
+  if (trace_dir != nullptr) {
+    const std::string path =
+        std::string(trace_dir) + "/" + spec.abbrev + ".trace.json";
+    std::ofstream out(path);
+    observer->trace().write(out);
+    std::cerr << "[bench] wrote " << path << "\n";
+  }
+  if (json_dir != nullptr) {
+    const std::string path =
+        std::string(json_dir) + "/" + spec.abbrev + ".report.json";
+    std::ofstream out(path);
+    write_results_json(comparison.results, out, &observer->metrics());
+    std::cerr << "[bench] wrote " << path << "\n";
+  }
+  return comparison;
 }
 
 inline std::string scale_note(const DataflowComparison& comparison) {

@@ -5,6 +5,9 @@
 //   hymm_sim --dataset AP --flow hymm --scale 0.5
 //   hymm_sim --edge-list graph.txt --features feats.txt --flow rwp
 //   hymm_sim --dataset AC --dmb-kb 512 --tiling 0.1 --csv out.csv
+//   hymm_sim --dataset CR --trace=out.json --json=report.json
+//
+// Flags accept both "--flag value" and "--flag=value".
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -17,6 +20,7 @@
 #include "graph/generator.hpp"
 #include "graph/io.hpp"
 #include "linalg/gcn.hpp"
+#include "obs/observer.hpp"
 
 namespace {
 
@@ -38,7 +42,11 @@ void usage() {
       "  --tiling <0..1>      tiling threshold (default 0.2)\n"
       "  --fifo               FIFO eviction instead of LRU\n"
       "  --no-accumulator     disable the near-memory accumulator\n"
-      "  --csv <file>         append machine-readable results\n";
+      "  --csv <file>         append machine-readable results\n"
+      "Observability (see DESIGN.md \"Observability\"):\n"
+      "  --trace <file>       Chrome/Perfetto trace of the run(s)\n"
+      "  --json <file>        JSON run report (full counter set)\n"
+      "  --sample-interval <cycles>  counter-track sampling period\n";
 }
 
 std::optional<Dataflow> parse_flow(const std::string& s) {
@@ -58,9 +66,17 @@ int main(int argc, char** argv) {
   AcceleratorConfig config;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+    std::string arg = argv[i];
+    // "--flag=value" is equivalent to "--flag value".
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('=');
+        eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+    }
+    auto next = [&]() -> std::string {
+      if (inline_value && !inline_value->empty()) return *inline_value;
+      if (inline_value || i + 1 >= argc) {
         std::cerr << "missing value for " << arg << "\n";
         std::exit(2);
       }
@@ -70,13 +86,16 @@ int main(int argc, char** argv) {
     else if (arg == "--edge-list") edge_list = next();
     else if (arg == "--features") features_path = next();
     else if (arg == "--flow") flow_arg = next();
-    else if (arg == "--scale") scale = std::atof(next());
-    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--dmb-kb") config.dmb_bytes = std::strtoull(next(), nullptr, 10) * 1024;
-    else if (arg == "--tiling") config.tiling_threshold = std::atof(next());
+    else if (arg == "--scale") scale = std::atof(next().c_str());
+    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--dmb-kb") config.dmb_bytes = std::strtoull(next().c_str(), nullptr, 10) * 1024;
+    else if (arg == "--tiling") config.tiling_threshold = std::atof(next().c_str());
     else if (arg == "--fifo") config.eviction_policy = EvictionPolicy::kFifo;
     else if (arg == "--no-accumulator") config.near_memory_accumulator = false;
     else if (arg == "--csv") csv_path = next();
+    else if (arg == "--trace") config.trace_path = next();
+    else if (arg == "--json") config.json_path = next();
+    else if (arg == "--sample-interval") config.obs_sample_interval = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
     else {
       std::cerr << "unknown argument " << arg << "\n";
@@ -147,10 +166,24 @@ int main(int argc, char** argv) {
   const GcnLayerResult golden =
       gcn_layer_reference(a_hat, workload.features, weights, false);
 
+  // One observer for every flow: each run becomes its own trace
+  // process group and the metrics registry aggregates across runs.
+  std::optional<Observer> observer;
+  if (!config.trace_path.empty() || !config.json_path.empty()) {
+    ObserverOptions oopts;
+    oopts.trace = !config.trace_path.empty();
+    oopts.sample_interval = config.obs_sample_interval;
+    observer.emplace(oopts);
+  }
+  Observer* obs = observer ? &*observer : nullptr;
+
   std::vector<ExperimentResult> results;
   for (const Dataflow flow : flows) {
+    if (obs != nullptr) {
+      obs->begin_run(to_string(flow) + "/" + workload.spec.abbrev);
+    }
     const ExperimentResult r = run_experiment(
-        workload, a_hat, weights, golden.aggregation, flow, config);
+        workload, a_hat, weights, golden.aggregation, flow, config, obs);
     std::cout << to_string(flow) << " ("
               << (r.verified ? "verified" : "MISMATCH")
               << ", max err " << r.max_abs_err << ")\n";
@@ -159,10 +192,32 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  bool write_failed = false;
+  const auto report_written = [&write_failed](const std::ofstream& out,
+                                              const std::string& path,
+                                              const char* hint = "") {
+    if (out) {
+      std::cout << "wrote " << path << hint << "\n";
+    } else {
+      std::cerr << "failed to write " << path << "\n";
+      write_failed = true;
+    }
+  };
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);
     write_results_csv(results, csv);
-    std::cout << "wrote " << csv_path << "\n";
+    report_written(csv, csv_path);
   }
-  return 0;
+  if (!config.trace_path.empty()) {
+    std::ofstream trace(config.trace_path);
+    observer->trace().write(trace);
+    report_written(trace, config.trace_path,
+                   " (open in ui.perfetto.dev or chrome://tracing)");
+  }
+  if (!config.json_path.empty()) {
+    std::ofstream json(config.json_path);
+    write_results_json(results, json, obs ? &obs->metrics() : nullptr);
+    report_written(json, config.json_path);
+  }
+  return write_failed ? 1 : 0;
 }

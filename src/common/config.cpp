@@ -41,6 +41,7 @@ void AcceleratorConfig::validate() const {
                  "tiling threshold must be a fraction");
   HYMM_CHECK_MSG(dmb_pin_fraction > 0.0 && dmb_pin_fraction <= 1.0,
                  "pin fraction must be in (0, 1]");
+  HYMM_CHECK_MSG(obs_sample_interval > 0, "zero observability sample interval");
 }
 
 }  // namespace hymm

@@ -91,6 +91,16 @@ struct AcceleratorConfig {
   // region-1 partial-output rows (the rest keeps servicing reads).
   double dmb_pin_fraction = 0.75;
 
+  // --- Observability (never affects timing) ---
+  // When non-empty, the driver writes a Chrome-trace-event /
+  // Perfetto-compatible trace of the run here (1 cycle = 1 us).
+  std::string trace_path;
+  // When non-empty, the driver writes the JSON run report here.
+  std::string json_path;
+  // Cycles between counter-track samples (DMB occupancy, partial
+  // bytes, LSQ depth, SMQ backlog).
+  Cycle obs_sample_interval = 64;
+
   // Derived quantities.
   std::size_t dmb_lines() const { return dmb_bytes / kLineBytes; }
   double gflops() const {

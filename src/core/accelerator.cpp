@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/hooks.hpp"
 #include "core/op_engine.hpp"
 #include "core/rwp_engine.hpp"
 #include "graph/degree_sort.hpp"
@@ -17,7 +18,8 @@ Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
 
 LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
                                       const CsrMatrix& x,
-                                      const DenseMatrix& w) const {
+                                      const DenseMatrix& w,
+                                      Observer* obs) const {
   HYMM_CHECK(a_hat.rows() == a_hat.cols());
   HYMM_CHECK(a_hat.cols() == x.rows());
   HYMM_CHECK(x.cols() == w.rows());
@@ -50,6 +52,7 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
 
   // --- Memory system and address space ---
   MemorySystem ms(config_);
+  if (obs != nullptr) ms.attach_observer(obs);
   const AddressRegion w_region = ms.address_map().allocate(
       "W", static_cast<std::size_t>(w.rows()) * chunks * kLineBytes,
       TrafficClass::kWeights);
@@ -103,6 +106,8 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
   }
   result.combination_stats = ms.stats();
   result.combination_stats.cycles = ms.now();
+  HYMM_OBS(obs, phase_span("combination", 0, ms.now()));
+  const Cycle aggregation_start = ms.now();
 
   // --- Aggregation phase: AXW = A_hat * XW ---
   // W is dead from here on: Section IV-D evicts W before XW, so the
@@ -162,6 +167,7 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
   result.stats.cycles = ms.now();
   result.aggregation_stats =
       stats_delta(result.stats, result.combination_stats);
+  HYMM_OBS(obs, phase_span("aggregation", aggregation_start, ms.now()));
 
   // --- Return results in the original node order ---
   if (hybrid) {

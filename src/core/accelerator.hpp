@@ -48,8 +48,12 @@ class Accelerator {
 
   // Simulates one GCN layer H = a_hat * x * w (no activation).
   // a_hat: n x n sparse; x: n x f sparse; w: f x d dense; d > 16 spans multiple lines per row.
+  // `obs` (optional) collects metrics and trace events for the run;
+  // it never affects timing — cycle counts are identical with or
+  // without an observer attached.
   LayerRunResult run_layer(Dataflow flow, const CsrMatrix& a_hat,
-                           const CsrMatrix& x, const DenseMatrix& w) const;
+                           const CsrMatrix& x, const DenseMatrix& w,
+                           Observer* obs = nullptr) const;
 
  private:
   AcceleratorConfig config_;

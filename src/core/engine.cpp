@@ -14,12 +14,31 @@ MemorySystem::MemorySystem(const AcceleratorConfig& config)
   config_.validate();
 }
 
+void MemorySystem::attach_observer(Observer* obs) {
+  obs_ = obs;
+  dram_.set_observer(obs);
+  dmb_.set_observer(obs);
+  lsq_.set_observer(obs);
+  smq_.set_observer(obs);
+  pe_.set_observer(obs);
+  obs_next_sample_ = now_;
+}
+
 void MemorySystem::tick_components() {
   dram_.tick(now_);
   dmb_.tick(now_);
   lsq_.tick(now_);
   smq_.tick(now_);
   stats_.maybe_sample_timeline(now_);
+#ifndef HYMM_OBS_DISABLED
+  if (obs_ != nullptr && now_ >= obs_next_sample_) {
+    obs_->sample_tracks(now_, dmb_.resident_lines(),
+                        stats_.partial_bytes_now,
+                        lsq_.pending_loads() + lsq_.pending_stores(),
+                        smq_.backlog());
+    obs_next_sample_ = now_ + obs_->sample_interval();
+  }
+#endif
 }
 
 Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/config.hpp"
+#include "obs/observer.hpp"
 #include "sim/address_map.hpp"
 #include "sim/dmb.hpp"
 #include "sim/dram.hpp"
@@ -39,6 +40,12 @@ class MemorySystem {
 
   Cycle now() const { return now_; }
 
+  // Wires the observability context into every component model and
+  // starts counter-track sampling. nullptr detaches. Attaching never
+  // changes timing: hooks only read simulator state.
+  void attach_observer(Observer* obs);
+  Observer* observer() const { return obs_; }
+
   // Delivers completions / retries / drains for the current cycle.
   // The phase loop calls this before the engine's tick.
   void tick_components();
@@ -56,6 +63,8 @@ class MemorySystem {
   SparseMatrixQueue smq_;
   PeArray pe_;
   Cycle now_ = 0;
+  Observer* obs_ = nullptr;
+  Cycle obs_next_sample_ = 0;
 };
 
 // A dataflow engine: one phase of SpDeMM work expressed as a

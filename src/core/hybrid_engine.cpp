@@ -1,6 +1,7 @@
 #include "core/hybrid_engine.hpp"
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -19,6 +20,7 @@ HybridAggregationInfo run_hybrid_aggregation(
 
   // --- Phase 1: OP over region 1 with pinned outputs ---
   const bool accumulate = ms.config().near_memory_accumulator;
+  const Cycle op_start = ms.now();
   SimStats before_op = ms.stats();
   before_op.cycles = ms.now();
   if (partition.region1_rows > 0 &&
@@ -56,8 +58,10 @@ HybridAggregationInfo run_hybrid_aggregation(
   SimStats after_op = ms.stats();
   after_op.cycles = ms.now();
   info.op_phase_stats = stats_delta(after_op, before_op);
+  HYMM_OBS(ms.observer(), region_span("region1 (OP)", op_start, ms.now()));
 
   // --- Phase 2: RWP over regions 2 and 3 ---
+  const Cycle rwp_start = ms.now();
   if (params.tiled->region23_csr().nnz() > 0) {
     RwpEngineParams rwp;
     rwp.sparse = &params.tiled->region23_csr();
@@ -70,13 +74,42 @@ HybridAggregationInfo run_hybrid_aggregation(
     rwp.c_class = TrafficClass::kOutput;
     rwp.c_store_kind = StoreKind::kThrough;
     rwp.row_offset = partition.region1_rows;
+    rwp.region2_col_boundary = partition.region2_cols;
     rwp.window = ms.config().engine_window;
     RwpEngine engine(ms, rwp);
     info.rwp_phase_cycles = run_phase(ms, engine);
+    info.region2_macs = engine.region2_macs();
+    info.region3_macs = engine.region3_macs();
   }
   SimStats after_rwp = ms.stats();
   after_rwp.cycles = ms.now();
   info.rwp_phase_stats = stats_delta(after_rwp, after_op);
+
+  // --- Per-region breakdown ---
+  info.region_stats[0] = info.op_phase_stats;
+  const std::uint64_t rwp_macs = info.region2_macs + info.region3_macs;
+  const double region2_share =
+      rwp_macs == 0 ? 0.0
+                    : static_cast<double>(info.region2_macs) /
+                          static_cast<double>(rwp_macs);
+  // Region 2 takes the scaled share; region 3 takes the remainder so
+  // the two sum exactly to the RWP phase. MAC counts are exact.
+  info.region_stats[1] = scale_stats(info.rwp_phase_stats, region2_share);
+  info.region_stats[2] =
+      stats_delta(info.rwp_phase_stats, info.region_stats[1]);
+  info.region_stats[1].mac_ops = info.region2_macs;
+  info.region_stats[2].mac_ops = info.region3_macs;
+
+  if (Observer* obs = ms.observer(); obs != nullptr && rwp_macs > 0) {
+    // Sub-span attribution mirrors the counter split: the RWP window
+    // is divided proportionally to the per-region MAC counts.
+    const Cycle split =
+        rwp_start + static_cast<Cycle>(
+                        static_cast<double>(ms.now() - rwp_start) *
+                        region2_share);
+    obs->region_span("region2 (RWP)", rwp_start, split);
+    obs->region_span("region3 (RWP)", split, ms.now());
+  }
   return info;
 }
 

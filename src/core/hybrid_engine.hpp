@@ -38,6 +38,17 @@ struct HybridAggregationInfo {
   // the unpin writeback of the finished region-1 rows).
   SimStats op_phase_stats;
   SimStats rwp_phase_stats;
+
+  // Per-region breakdown. region_stats[0] is the region-1 OP phase
+  // exactly; the shared RWP phase is split between region_stats[1]
+  // (hot columns below the region-2 boundary) and region_stats[2] by
+  // the exact per-region MAC counts the engine retires — mac_ops are
+  // exact, the remaining counters are attributed proportionally
+  // (region-2/3 non-zeros interleave within rows, so cycle-exact
+  // attribution is ill-defined; see DESIGN.md "Observability").
+  std::array<SimStats, 3> region_stats{};
+  std::uint64_t region2_macs = 0;
+  std::uint64_t region3_macs = 0;
 };
 
 // Runs both phases to completion on `ms` and returns per-phase cycle

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -144,6 +145,7 @@ void OpEngine::tick_stream(MemorySystem& ms) {
         if (head.chunk == 0 && pf_ahead_ > 0) --pf_ahead_;
       }
 
+      HYMM_OBS(ms.observer(), observe_engine_window(pending_.size()));
       if (params_.accumulate_in_buffer) {
         const Addr line =
             params_.c_region.line_of(out_row, chunks_) +
@@ -314,6 +316,8 @@ void OpEngine::tick_merge(MemorySystem& ms) {
     merge_bytes_read_ += kLineBytes;
   }
   ms.pe().merge_op(ms.now());
+  HYMM_OBS(ms.observer(),
+           observe_merge_depth(records_to_merge_ - merged_records_));
   ms.stats().note_partial_bytes(
       -static_cast<std::int64_t>(merge_record_bytes_));
   ++merged_records_;

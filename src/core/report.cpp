@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "obs/json.hpp"
 
 namespace hymm {
 
@@ -43,6 +44,17 @@ std::string dram_breakdown_string(const SimStats& stats) {
   return first ? "none" : oss.str();
 }
 
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out) {
   out << "dataset,scale,flow,cycles,combination_cycles,aggregation_cycles,"
@@ -54,17 +66,116 @@ void write_results_csv(std::span<const ExperimentResult> results,
   }
   out << ",dram_total_bytes,verified,max_abs_err\n";
   for (const ExperimentResult& r : results) {
-    out << r.abbrev << ',' << r.scale << ',' << to_string(r.flow) << ','
-        << r.cycles << ',' << r.combination_cycles << ','
-        << r.aggregation_cycles << ',' << r.mac_ops << ','
-        << r.alu_utilization << ',' << r.dmb_hit_rate << ','
-        << r.partial_bytes_peak << ',' << r.preprocess_ms;
+    out << csv_quote(r.abbrev) << ',' << r.scale << ','
+        << csv_quote(to_string(r.flow)) << ',' << r.cycles << ','
+        << r.combination_cycles << ',' << r.aggregation_cycles << ','
+        << r.mac_ops << ',' << r.alu_utilization << ',' << r.dmb_hit_rate
+        << ',' << r.partial_bytes_peak << ',' << r.preprocess_ms;
     for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
       out << ',' << r.dram_read_bytes[c] << ',' << r.dram_write_bytes[c];
     }
     out << ',' << r.dram_total_bytes << ',' << (r.verified ? 1 : 0) << ','
         << r.max_abs_err << '\n';
   }
+}
+
+namespace {
+
+void write_traffic_json(JsonWriter& w, std::string_view name,
+                        const std::array<std::uint64_t, kTrafficClassCount>&
+                            bytes_by_class) {
+  w.key(name);
+  w.begin_object();
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    w.field(to_string(static_cast<TrafficClass>(c)), bytes_by_class[c]);
+  }
+  w.end_object();
+}
+
+void write_stats_json(JsonWriter& w, const SimStats& s) {
+  w.begin_object();
+  w.field("cycles", std::uint64_t{s.cycles});
+  w.field("mac_ops", s.mac_ops);
+  w.field("alu_busy_cycles", std::uint64_t{s.alu_busy_cycles});
+  w.field("merge_adds", s.merge_adds);
+  w.field("dmb_read_hits", s.dmb_read_hits);
+  w.field("dmb_read_misses", s.dmb_read_misses);
+  w.field("dmb_accumulate_hits", s.dmb_accumulate_hits);
+  w.field("dmb_accumulate_misses", s.dmb_accumulate_misses);
+  w.field("dmb_evictions", s.dmb_evictions);
+  w.field("dmb_partial_spills", s.dmb_partial_spills);
+  w.field("lsq_loads", s.lsq_loads);
+  w.field("lsq_stores", s.lsq_stores);
+  w.field("lsq_forwards", s.lsq_forwards);
+  write_traffic_json(w, "dram_read_bytes", s.dram_read_bytes);
+  write_traffic_json(w, "dram_write_bytes", s.dram_write_bytes);
+  w.field("dram_total_bytes", s.dram_total_bytes());
+  w.field("partial_bytes_peak", s.partial_bytes_peak);
+  w.field("alu_utilization", s.alu_utilization());
+  w.field("dmb_hit_rate", s.dmb_hit_rate());
+  w.end_object();
+}
+
+void write_partition_json(JsonWriter& w, const RegionPartition& p) {
+  w.begin_object();
+  w.field("nodes", std::uint64_t{p.nodes});
+  w.field("region1_rows", std::uint64_t{p.region1_rows});
+  w.field("region2_cols", std::uint64_t{p.region2_cols});
+  w.field("nnz_region1", std::uint64_t{p.nnz_region1});
+  w.field("nnz_region2", std::uint64_t{p.nnz_region2});
+  w.field("nnz_region3", std::uint64_t{p.nnz_region3});
+  w.end_object();
+}
+
+}  // namespace
+
+void write_results_json(std::span<const ExperimentResult> results,
+                        std::ostream& out,
+                        const MetricsRegistry* metrics) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "hymm-run-report/1");
+  w.key("results");
+  w.begin_array();
+  for (const ExperimentResult& r : results) {
+    w.begin_object();
+    w.field("dataset", r.dataset);
+    w.field("abbrev", r.abbrev);
+    w.field("scale", r.scale);
+    w.field("flow", to_string(r.flow));
+    w.field("cycles", std::uint64_t{r.cycles});
+    w.field("combination_cycles", std::uint64_t{r.combination_cycles});
+    w.field("aggregation_cycles", std::uint64_t{r.aggregation_cycles});
+    w.field("preprocess_ms", r.preprocess_ms);
+    w.field("verified", r.verified);
+    w.field("max_abs_err", r.max_abs_err);
+    if (r.flow == Dataflow::kHybrid) {
+      w.key("partition");
+      write_partition_json(w, r.partition);
+    }
+    w.key("stats");
+    write_stats_json(w, r.stats);
+    w.key("combination");
+    write_stats_json(w, r.combination_stats);
+    w.key("aggregation");
+    write_stats_json(w, r.aggregation_stats);
+    if (r.flow == Dataflow::kHybrid) {
+      w.key("regions");
+      w.begin_array();
+      for (const SimStats& region : r.hybrid_info.region_stats) {
+        write_stats_json(w, region);
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (metrics != nullptr && !metrics->empty()) {
+    w.key("metrics");
+    metrics->write_json(w);
+  }
+  w.end_object();
+  out << '\n';
 }
 
 }  // namespace hymm

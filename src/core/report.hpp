@@ -1,5 +1,5 @@
-// Human-readable and CSV renderings of simulation statistics, shared
-// by the bench binaries, the examples and external tooling.
+// Human-readable, CSV and JSON renderings of simulation statistics,
+// shared by the bench binaries, the examples and external tooling.
 #pragma once
 
 #include <iosfwd>
@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace hymm {
@@ -19,10 +20,26 @@ void print_stats_summary(const SimStats& stats, std::ostream& out,
 // One-line "class=bytes" breakdown of DRAM traffic.
 std::string dram_breakdown_string(const SimStats& stats);
 
+// RFC 4180 field quoting: wraps `field` in double quotes (doubling
+// embedded quotes) when it contains a comma, quote, CR or LF;
+// otherwise returns it unchanged.
+std::string csv_quote(const std::string& field);
+
 // Machine-readable experiment dump: one row per result with a fixed
 // header (dataset, flow, cycles, utilization, hit rate, per-class
-// bytes, partial peak, verification).
+// bytes, partial peak, verification). String fields are csv_quote()d.
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out);
+
+// JSON run report (schema "hymm-run-report/1"): one object per result
+// carrying the full SimStats counter set (whole layer plus the
+// combination/aggregation phase deltas and, for hybrid runs, the
+// per-region breakdown), the partition and the verification verdict.
+// When `metrics` is non-null its counters/gauges/histograms are
+// appended under "metrics". Output is valid JSON (obs/json.hpp's
+// json_is_valid accepts it).
+void write_results_json(std::span<const ExperimentResult> results,
+                        std::ostream& out,
+                        const MetricsRegistry* metrics = nullptr);
 
 }  // namespace hymm

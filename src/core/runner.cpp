@@ -9,10 +9,11 @@ ExperimentResult run_experiment(const GcnWorkload& workload,
                                 const DenseMatrix& weights,
                                 const DenseMatrix& reference_output,
                                 Dataflow flow,
-                                const AcceleratorConfig& config) {
+                                const AcceleratorConfig& config,
+                                Observer* obs) {
   Accelerator accelerator(config);
   const LayerRunResult layer =
-      accelerator.run_layer(flow, a_hat, workload.features, weights);
+      accelerator.run_layer(flow, a_hat, workload.features, weights, obs);
 
   ExperimentResult r;
   r.dataset = workload.spec.name;
@@ -32,6 +33,9 @@ ExperimentResult run_experiment(const GcnWorkload& workload,
   r.preprocess_ms = layer.preprocess_ms;
   r.partition = layer.partition;
   r.stats = layer.stats;
+  r.combination_stats = layer.combination_stats;
+  r.aggregation_stats = layer.aggregation_stats;
+  r.hybrid_info = layer.hybrid_info;
   r.max_abs_err =
       DenseMatrix::max_abs_diff(layer.output, reference_output);
   r.verified = DenseMatrix::allclose(layer.output, reference_output,
@@ -50,7 +54,8 @@ const ExperimentResult& DataflowComparison::by_flow(Dataflow flow) const {
 DataflowComparison compare_dataflows(const DatasetSpec& spec,
                                      const AcceleratorConfig& config,
                                      const std::vector<Dataflow>& flows,
-                                     double scale, std::uint64_t seed) {
+                                     double scale, std::uint64_t seed,
+                                     Observer* obs) {
   const double effective_scale = scale < 0.0 ? default_scale(spec) : scale;
   const GcnWorkload workload = build_workload(spec, effective_scale, seed);
 
@@ -64,8 +69,11 @@ DataflowComparison compare_dataflows(const DatasetSpec& spec,
   comparison.spec = workload.spec;
   comparison.scale = effective_scale;
   for (const Dataflow flow : flows) {
+    if (obs != nullptr) {
+      obs->begin_run(to_string(flow) + "/" + workload.spec.abbrev);
+    }
     comparison.results.push_back(run_experiment(
-        workload, a_hat, weights, golden.aggregation, flow, config));
+        workload, a_hat, weights, golden.aggregation, flow, config, obs));
   }
   return comparison;
 }

@@ -41,6 +41,13 @@ struct ExperimentResult {
   // figure metrics; this keeps everything for reports).
   SimStats stats;
 
+  // Per-phase counter deltas and the hybrid's per-region breakdown
+  // (hybrid_info.region_stats; zeroed for RWP/OP runs). The JSON run
+  // report serializes all of these.
+  SimStats combination_stats;
+  SimStats aggregation_stats;
+  HybridAggregationInfo hybrid_info;
+
   double runtime_ms(double clock_ghz = 1.0) const {
     return static_cast<double>(cycles) / (clock_ghz * 1e6);
   }
@@ -48,13 +55,15 @@ struct ExperimentResult {
 
 // Simulates one GCN layer of `workload` under `flow` and verifies the
 // result. a_hat/weights/reference are shared across flows by
-// compare_dataflows to avoid rebuilding them.
+// compare_dataflows to avoid rebuilding them. `obs` (optional)
+// collects metrics and trace events; it never affects timing.
 ExperimentResult run_experiment(const GcnWorkload& workload,
                                 const CsrMatrix& a_hat,
                                 const DenseMatrix& weights,
                                 const DenseMatrix& reference_output,
                                 Dataflow flow,
-                                const AcceleratorConfig& config);
+                                const AcceleratorConfig& config,
+                                Observer* obs = nullptr);
 
 struct DataflowComparison {
   DatasetSpec spec;  // post-scaling
@@ -66,11 +75,13 @@ struct DataflowComparison {
 
 // Builds the dataset's synthetic workload once and runs every
 // requested dataflow on it. `scale < 0` selects default_scale(spec).
+// With an observer, each flow becomes its own trace process group
+// (labelled "<flow>/<abbrev>") in the shared trace file.
 DataflowComparison compare_dataflows(
     const DatasetSpec& spec, const AcceleratorConfig& config,
     const std::vector<Dataflow>& flows =
         {Dataflow::kOuterProduct, Dataflow::kRowWiseProduct,
          Dataflow::kHybrid},
-    double scale = -1.0, std::uint64_t seed = 42);
+    double scale = -1.0, std::uint64_t seed = 42, Observer* obs = nullptr);
 
 }  // namespace hymm

@@ -1,6 +1,7 @@
 #include "core/rwp_engine.hpp"
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -95,6 +96,12 @@ void RwpEngine::try_retire(MemorySystem& ms) {
               c_lanes(out_row, head.chunk), ms.now());
   ms.lsq().release_load(head.load_id);
   ++retired_;
+  if (head.col < params_.region2_col_boundary) {
+    ++region2_macs_;
+  } else {
+    ++region3_macs_;
+  }
+  HYMM_OBS(ms.observer(), observe_engine_window(pending_.size()));
 
   if (head.last_of_row) {
     const Addr base = params_.c_region.line_of(out_row, chunks_);

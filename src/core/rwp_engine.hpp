@@ -37,6 +37,12 @@ struct RwpEngineParams {
   // row r + row_offset (HyMM region 2/3 runs rows [R1, n)).
   NodeId row_offset = 0;
 
+  // Column boundary for HyMM's region-2/3 attribution: retired MACs
+  // whose source column lies below the boundary count as region 2
+  // (hot columns), the rest as region 3. 0 (default) attributes
+  // everything to region 3.
+  NodeId region2_col_boundary = 0;
+
   // Maximum in-flight non-zeros (bounded further by LSQ capacity).
   std::size_t window = 64;
 };
@@ -49,6 +55,11 @@ class RwpEngine final : public Engine {
 
   bool done(const MemorySystem& ms) const override;
   void tick(MemorySystem& ms) override;
+
+  // Exact MAC counts on each side of region2_col_boundary (per-region
+  // attribution of the hybrid's shared RWP phase).
+  std::uint64_t region2_macs() const { return region2_macs_; }
+  std::uint64_t region3_macs() const { return region3_macs_; }
 
  private:
   struct Pending {
@@ -73,6 +84,8 @@ class RwpEngine final : public Engine {
   // retirement.
   std::deque<Addr> pending_stores_;
   std::uint64_t retired_ = 0;
+  std::uint64_t region2_macs_ = 0;
+  std::uint64_t region3_macs_ = 0;
 };
 
 }  // namespace hymm

@@ -1,0 +1,72 @@
+// Minimal JSON utilities for the observability layer: a streaming
+// writer (used by the trace emitter and the run-report writer) and a
+// strict well-formedness checker (used by tests to validate emitted
+// documents). No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hymm {
+
+// Escapes `s` for embedding inside a JSON string literal (the
+// surrounding quotes are not included).
+std::string json_escape(std::string_view s);
+
+// Strict recursive-descent well-formedness check of a complete JSON
+// document (RFC 8259 values; no trailing garbage).
+bool json_is_valid(std::string_view text);
+
+// Streaming writer for nested JSON documents. The caller drives
+// structure explicitly:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.field("cycles", std::uint64_t{42});
+//   w.key("dram"); w.begin_object(); ... w.end_object();
+//   w.end_object();
+//
+// Numbers that are not finite are emitted as null (JSON has no NaN).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  template <typename T>
+  void field(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void before_value();
+  void indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  struct Level {
+    bool first = true;
+  };
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace hymm

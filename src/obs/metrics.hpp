@@ -1,0 +1,97 @@
+// Metrics registry (tentpole part 2): named counters, gauges and
+// fixed-bucket histograms that hardware component models update
+// through cheap macro-guarded hook points (see obs/hooks.hpp). The
+// registry is attribution-oriented — it answers "how many / how deep
+// / how big" questions the aggregate SimStats counters cannot, and
+// serializes into the JSON run report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace hymm {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-written value plus the running maximum (high-water mark).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  std::int64_t value() const { return value_; }
+  std::int64_t max_value() const { return max_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t max_ = 0;
+};
+
+// Fixed-bucket histogram over unsigned samples. `upper_bounds` are
+// inclusive bucket upper edges in increasing order; an implicit
+// overflow bucket catches everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void observe(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  double mean() const;
+  const std::vector<std::uint64_t>& upper_bounds() const { return bounds_; }
+  // buckets().size() == upper_bounds().size() + 1 (overflow last).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+// Name-indexed instrument store. Handles returned by the accessors
+// stay valid for the registry's lifetime (node-based map), so hot
+// paths cache the pointer once and pay a bare increment per event.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // Creates the histogram on first use; later calls with the same
+  // name return the existing instance (bounds are fixed at creation).
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> upper_bounds);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Nested {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  // object (keys sorted — std::map iteration order).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,104 @@
+#include "obs/observer.hpp"
+
+namespace hymm {
+
+namespace {
+
+std::vector<std::uint64_t> pow2_bounds(std::uint64_t lo, std::uint64_t hi) {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = lo; b <= hi; b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+Observer::Observer(ObserverOptions options) : options_(options) {
+  dmb_evictions_ = &metrics_.counter("dmb.evictions");
+  dmb_partial_spills_ = &metrics_.counter("dmb.partial_spills");
+  dmb_prefetches_ = &metrics_.counter("dmb.prefetches");
+  lsq_forwards_ = &metrics_.counter("lsq.forwards");
+  lsq_rejects_ = &metrics_.counter("lsq.load_rejects");
+  dram_reads_ = &metrics_.counter("dram.reads");
+  dram_writes_ = &metrics_.counter("dram.writes");
+  smq_refills_ = &metrics_.counter("smq.refills");
+  pe_macs_ = &metrics_.counter("pe.mac_ops");
+  pe_merges_ = &metrics_.counter("pe.merge_adds");
+  dmb_occupancy_gauge_ = &metrics_.gauge("dmb.occupancy_lines");
+  partial_bytes_gauge_ = &metrics_.gauge("partial.bytes");
+  lsq_depth_gauge_ = &metrics_.gauge("lsq.depth");
+  smq_backlog_gauge_ = &metrics_.gauge("smq.backlog");
+  // Row degree spans isolated nodes (0–1) to social-network hubs.
+  row_degree_ = &metrics_.histogram("smq.row_degree", pow2_bounds(1, 4096));
+  merge_depth_ =
+      &metrics_.histogram("op.merge_queue_depth", pow2_bounds(1, 1 << 20));
+  engine_window_ =
+      &metrics_.histogram("engine.window_occupancy", pow2_bounds(1, 256));
+  dmb_occupancy_hist_ =
+      &metrics_.histogram("dmb.set_occupancy", pow2_bounds(16, 1 << 16));
+}
+
+void Observer::begin_run(const std::string& label) {
+  if (run_started_) ++pid_;
+  run_started_ = true;
+  if (!options_.trace) return;
+  trace_.set_process_name(pid_, label);
+  trace_.set_thread_name(pid_, 0, "phases");
+  trace_.set_thread_name(pid_, 1, "regions");
+}
+
+void Observer::on_dmb_eviction(Cycle now) {
+  dmb_evictions_->add();
+  if (options_.trace) trace_.instant(pid_, "eviction", now);
+}
+
+void Observer::on_partial_spill(Cycle now) {
+  dmb_partial_spills_->add();
+  if (options_.trace) trace_.instant(pid_, "partial spill", now);
+}
+
+void Observer::on_dmb_prefetch() { dmb_prefetches_->add(); }
+void Observer::on_lsq_forward() { lsq_forwards_->add(); }
+void Observer::on_lsq_reject() { lsq_rejects_->add(); }
+void Observer::on_dram_read() { dram_reads_->add(); }
+void Observer::on_dram_write() { dram_writes_->add(); }
+void Observer::on_smq_refill() { smq_refills_->add(); }
+void Observer::on_pe_mac() { pe_macs_->add(); }
+void Observer::on_pe_merge() { pe_merges_->add(); }
+
+void Observer::observe_row_degree(std::uint64_t nnz) {
+  row_degree_->observe(nnz);
+}
+
+void Observer::observe_merge_depth(std::uint64_t records_outstanding) {
+  merge_depth_->observe(records_outstanding);
+}
+
+void Observer::observe_engine_window(std::uint64_t pending) {
+  engine_window_->observe(pending);
+}
+
+void Observer::sample_tracks(Cycle now, std::uint64_t dmb_lines,
+                             std::uint64_t partial_bytes,
+                             std::uint64_t lsq_depth,
+                             std::uint64_t smq_backlog) {
+  dmb_occupancy_gauge_->set(static_cast<std::int64_t>(dmb_lines));
+  partial_bytes_gauge_->set(static_cast<std::int64_t>(partial_bytes));
+  lsq_depth_gauge_->set(static_cast<std::int64_t>(lsq_depth));
+  smq_backlog_gauge_->set(static_cast<std::int64_t>(smq_backlog));
+  dmb_occupancy_hist_->observe(dmb_lines);
+  if (!options_.trace) return;
+  trace_.counter(pid_, "DMB occupancy", "lines", now, dmb_lines);
+  trace_.counter(pid_, "partial bytes", "bytes", now, partial_bytes);
+  trace_.counter(pid_, "LSQ depth", "entries", now, lsq_depth);
+  trace_.counter(pid_, "SMQ backlog", "entries", now, smq_backlog);
+}
+
+void Observer::phase_span(const std::string& name, Cycle begin, Cycle end) {
+  if (options_.trace) trace_.duration(pid_, 0, name, begin, end);
+}
+
+void Observer::region_span(const std::string& name, Cycle begin, Cycle end) {
+  if (options_.trace) trace_.duration(pid_, 1, name, begin, end);
+}
+
+}  // namespace hymm

@@ -1,0 +1,107 @@
+// Observability context: one Observer carries the metrics registry
+// and the trace writer for a set of simulated runs. Hardware
+// component models hold a nullable Observer* and report events
+// through the HYMM_OBS macro (obs/hooks.hpp); with no observer
+// attached the hooks cost one pointer compare, and the observer never
+// feeds back into timing, so simulated cycle counts are bit-identical
+// with observability on or off.
+//
+// Naming scheme (documented in DESIGN.md "Observability"):
+//   counters    <component>.<event>    e.g. dmb.evictions
+//   gauges      <component>.<level>    e.g. lsq.depth
+//   histograms  <component>.<dist>     e.g. smq.row_degree
+//   trace tracks "DMB occupancy", "partial bytes", "LSQ depth",
+//                "SMQ backlog"; phase spans on thread "phases",
+//                region sub-phases on thread "regions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hymm {
+
+struct ObserverOptions {
+  // Collect trace events (the metrics registry is always on once an
+  // observer is attached).
+  bool trace = false;
+  // Cycles between counter-track samples; bounds trace size on long
+  // runs. Sampling reads state, never mutates it.
+  Cycle sample_interval = 64;
+};
+
+class Observer {
+ public:
+  explicit Observer(ObserverOptions options = {});
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceWriter& trace() { return trace_; }
+  const TraceWriter& trace() const { return trace_; }
+
+  bool tracing() const { return options_.trace; }
+  Cycle sample_interval() const { return options_.sample_interval; }
+
+  // Starts a new trace process group (one per simulated run, labelled
+  // e.g. "HyMM" or "RWP/cora") so several runs share one trace file.
+  void begin_run(const std::string& label);
+  int run_pid() const { return pid_; }
+
+  // --- Component hook points (cached handles; no map lookups) ---
+  void on_dmb_eviction(Cycle now);
+  void on_partial_spill(Cycle now);
+  void on_dmb_prefetch();
+  void on_lsq_forward();
+  void on_lsq_reject();
+  void on_dram_read();
+  void on_dram_write();
+  void on_smq_refill();
+  void on_pe_mac();
+  void on_pe_merge();
+  void observe_row_degree(std::uint64_t nnz);
+  void observe_merge_depth(std::uint64_t records_outstanding);
+  void observe_engine_window(std::uint64_t pending);
+
+  // Counter-track sample, called by MemorySystem every
+  // sample_interval cycles.
+  void sample_tracks(Cycle now, std::uint64_t dmb_lines,
+                     std::uint64_t partial_bytes, std::uint64_t lsq_depth,
+                     std::uint64_t smq_backlog);
+
+  // Duration events: whole phases (combination/aggregation) and the
+  // hybrid's region sub-phases.
+  void phase_span(const std::string& name, Cycle begin, Cycle end);
+  void region_span(const std::string& name, Cycle begin, Cycle end);
+
+ private:
+  ObserverOptions options_;
+  MetricsRegistry metrics_;
+  TraceWriter trace_;
+  int pid_ = 0;
+  bool run_started_ = false;
+
+  // Cached instrument handles (stable for the registry's lifetime).
+  Counter* dmb_evictions_;
+  Counter* dmb_partial_spills_;
+  Counter* dmb_prefetches_;
+  Counter* lsq_forwards_;
+  Counter* lsq_rejects_;
+  Counter* dram_reads_;
+  Counter* dram_writes_;
+  Counter* smq_refills_;
+  Counter* pe_macs_;
+  Counter* pe_merges_;
+  Gauge* dmb_occupancy_gauge_;
+  Gauge* partial_bytes_gauge_;
+  Gauge* lsq_depth_gauge_;
+  Gauge* smq_backlog_gauge_;
+  Histogram* row_degree_;
+  Histogram* merge_depth_;
+  Histogram* engine_window_;
+  Histogram* dmb_occupancy_hist_;
+};
+
+}  // namespace hymm

@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace hymm {
+
+void TraceWriter::set_process_name(int pid, std::string name) {
+  Event e;
+  e.ph = 'M';
+  e.pid = pid;
+  e.name = "process_name";
+  e.arg_key = "name";
+  e.arg_str = std::move(name);
+  metadata_.push_back(std::move(e));
+}
+
+void TraceWriter::set_thread_name(int pid, int tid, std::string name) {
+  Event e;
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = "thread_name";
+  e.arg_key = "name";
+  e.arg_str = std::move(name);
+  metadata_.push_back(std::move(e));
+}
+
+void TraceWriter::duration(int pid, int tid, std::string name, Cycle begin,
+                           Cycle end) {
+  HYMM_DCHECK(end >= begin);
+  Event e;
+  e.ph = 'X';
+  e.ts = begin;
+  e.dur = end - begin;
+  e.pid = pid;
+  e.tid = tid;
+  e.name = std::move(name);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::counter(int pid, std::string track, std::string series,
+                          Cycle ts, std::uint64_t value) {
+  Event e;
+  e.ph = 'C';
+  e.ts = ts;
+  e.pid = pid;
+  e.name = std::move(track);
+  e.arg_key = std::move(series);
+  e.arg_u64 = value;
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::instant(int pid, std::string name, Cycle ts) {
+  if (instant_count_ >= kMaxInstantEvents) {
+    ++dropped_instants_;
+    return;
+  }
+  ++instant_count_;
+  Event e;
+  e.ph = 'i';
+  e.ts = ts;
+  e.pid = pid;
+  e.name = std::move(name);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::write(std::ostream& out) const {
+  // Chrome's JSON importer tolerates any order, but downstream tools
+  // (and our own acceptance test) want monotone timestamps.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  JsonWriter w(out, /*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  const auto emit = [&w](const Event& e) {
+    w.begin_object();
+    w.field("name", std::string_view(e.name));
+    w.key("ph");
+    w.value(std::string_view(&e.ph, 1));
+    w.field("pid", e.pid);
+    w.field("tid", e.tid);
+    if (e.ph != 'M') w.field("ts", static_cast<std::uint64_t>(e.ts));
+    if (e.ph == 'X') w.field("dur", static_cast<std::uint64_t>(e.dur));
+    if (e.ph == 'i') w.field("s", "t");  // thread-scoped instant
+    if (!e.arg_key.empty()) {
+      w.key("args");
+      w.begin_object();
+      if (e.ph == 'M') {
+        w.field(e.arg_key, std::string_view(e.arg_str));
+      } else {
+        w.field(e.arg_key, e.arg_u64);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  };
+  for (const Event& e : metadata_) emit(e);
+  for (const Event* e : ordered) emit(*e);
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  if (dropped_instants_ > 0) {
+    w.field("droppedInstantEvents",
+            static_cast<std::uint64_t>(dropped_instants_));
+  }
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace hymm

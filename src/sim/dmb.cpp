@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 #include "sim/tags.hpp"
 
 namespace hymm {
@@ -120,11 +121,13 @@ bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
           // Spilled partial stays live (unmerged) in DRAM; footprint
           // is unchanged, but the spill itself is counted.
           ++stats_.dmb_partial_spills;
+          HYMM_OBS(obs_, on_partial_spill(now));
         }
       }
       list->erase(it);
       lines_.erase(state_it);
       ++stats_.dmb_evictions;
+      HYMM_OBS(obs_, on_dmb_eviction(now));
       return true;
     }
   }
@@ -174,6 +177,7 @@ bool DenseMatrixBuffer::prefetch(Addr line, TrafficClass cls, Cycle now) {
   // channel throttles them before they starve demand traffic.
   if (!dram_.can_accept_write(now)) return false;
   dram_.issue_streaming_read(cls, now);
+  HYMM_OBS(obs_, on_dmb_prefetch());
   const Cycle ready = now + dram_latency_;
   pending_prefetches_.push_back(PendingPrefetch{line, cls, ready});
   prefetch_inflight_.emplace(line, ready);

@@ -21,10 +21,16 @@
 
 namespace hymm {
 
+class Observer;
+
 class DenseMatrixBuffer {
  public:
   DenseMatrixBuffer(const AcceleratorConfig& config, Dram& dram,
                     SimStats& stats);
+
+  // Attaches the observability context (obs/observer.hpp); hooks are
+  // read-only and never change timing. nullptr detaches.
+  void set_observer(Observer* obs) { obs_ = obs; }
 
   enum class ReadResult {
     kHit,     // waiter becomes ready after the hit latency
@@ -172,6 +178,7 @@ class DenseMatrixBuffer {
 
   Dram& dram_;
   SimStats& stats_;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace hymm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -40,17 +41,20 @@ void Dram::issue_read(Addr line_addr, TrafficClass cls, std::uint64_t tag,
   const Cycle slot = reserve_slot(now);
   inflight_.push_back(Inflight{tag, slot + latency_});
   stats_.dram_read_bytes[static_cast<std::size_t>(cls)] += kLineBytes;
+  HYMM_OBS(obs_, on_dram_read());
 }
 
 void Dram::issue_write(Addr line_addr, TrafficClass cls, Cycle now) {
   (void)line_addr;
   reserve_slot(now);
   stats_.dram_write_bytes[static_cast<std::size_t>(cls)] += kLineBytes;
+  HYMM_OBS(obs_, on_dram_write());
 }
 
 void Dram::issue_streaming_read(TrafficClass cls, Cycle now) {
   reserve_slot(now);
   stats_.dram_read_bytes[static_cast<std::size_t>(cls)] += kLineBytes;
+  HYMM_OBS(obs_, on_dram_read());
 }
 
 void Dram::tick(Cycle now) {

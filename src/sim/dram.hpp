@@ -14,9 +14,15 @@
 
 namespace hymm {
 
+class Observer;
+
 class Dram {
  public:
   Dram(const AcceleratorConfig& config, SimStats& stats);
+
+  // Attaches the observability context (read-only hooks; nullptr
+  // detaches).
+  void set_observer(Observer* obs) { obs_ = obs; }
 
   // True when the read queue has room for another in-flight request.
   bool can_accept_read() const;
@@ -71,6 +77,7 @@ class Dram {
   std::deque<Inflight> inflight_;  // FIFO: fixed latency keeps order
   std::vector<std::uint64_t> completions_;
   SimStats& stats_;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace hymm

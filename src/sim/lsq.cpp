@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -33,6 +34,7 @@ std::optional<LoadStoreQueue::EntryId> LoadStoreQueue::load(Addr line,
     // drained): forward its data without touching the memory system
     // (Section IV-B).
     ++stats_.lsq_forwards;
+    HYMM_OBS(obs_, on_lsq_forward());
     entry.issued = true;
     entry.ready = true;
   } else {
@@ -89,6 +91,7 @@ void LoadStoreQueue::tick(Cycle now) {
     auto& entry = load_entries_.at(id);
     const auto result = dmb_.read(entry.line, entry.cls, id, now);
     if (result == DenseMatrixBuffer::ReadResult::kReject) {
+      HYMM_OBS(obs_, on_lsq_reject());
       unissued_loads_[kept++] = id;
     } else {
       entry.issued = true;

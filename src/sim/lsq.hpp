@@ -24,12 +24,18 @@ enum class StoreKind {
   kAccumulate,  // near-memory accumulator merge (partial outputs)
 };
 
+class Observer;
+
 class LoadStoreQueue {
  public:
   using EntryId = std::uint64_t;
 
   LoadStoreQueue(const AcceleratorConfig& config, DenseMatrixBuffer& dmb,
                  SimStats& stats);
+
+  // Attaches the observability context (read-only hooks; nullptr
+  // detaches).
+  void set_observer(Observer* obs) { obs_ = obs; }
 
   // Free entries right now (loads waiting for data + undrained
   // stores both occupy entries).
@@ -55,6 +61,7 @@ class LoadStoreQueue {
 
   bool all_stores_drained() const { return store_queue_.empty(); }
   std::size_t pending_loads() const { return load_entries_.size(); }
+  std::size_t pending_stores() const { return store_queue_.size(); }
 
  private:
   struct LoadEntry {
@@ -86,6 +93,7 @@ class LoadStoreQueue {
 
   DenseMatrixBuffer& dmb_;
   SimStats& stats_;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace hymm

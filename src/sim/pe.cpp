@@ -1,6 +1,7 @@
 #include "sim/pe.hpp"
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -22,6 +23,7 @@ void PeArray::mac(Value scalar, std::span<const Value> in,
   HYMM_DCHECK(in.size() == out.size());
   mark_busy(now);
   ++stats_.mac_ops;
+  HYMM_OBS(obs_, on_pe_mac());
   for (std::size_t i = 0; i < in.size(); ++i) out[i] += scalar * in[i];
 }
 
@@ -30,12 +32,14 @@ void PeArray::add(std::span<const Value> in, std::span<Value> out,
   HYMM_DCHECK(in.size() == out.size());
   mark_busy(now);
   ++stats_.merge_adds;
+  HYMM_OBS(obs_, on_pe_merge());
   for (std::size_t i = 0; i < in.size(); ++i) out[i] += in[i];
 }
 
 void PeArray::merge_op(Cycle now) {
   mark_busy(now);
   ++stats_.merge_adds;
+  HYMM_OBS(obs_, on_pe_merge());
 }
 
 void PeArray::stall(Cycle now) { last_issue_cycle_ = now; }

@@ -16,9 +16,15 @@
 
 namespace hymm {
 
+class Observer;
+
 class PeArray {
  public:
   PeArray(const AcceleratorConfig& config, SimStats& stats);
+
+  // Attaches the observability context (read-only hooks; nullptr
+  // detaches).
+  void set_observer(Observer* obs) { obs_ = obs; }
 
   // True when the array can retire another op this cycle.
   bool can_issue(Cycle now) const;
@@ -47,6 +53,7 @@ class PeArray {
   std::size_t pe_count_;
   Cycle last_issue_cycle_ = ~Cycle{0};
   SimStats& stats_;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace hymm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 #include "sim/tags.hpp"
 
 namespace hymm {
@@ -89,6 +90,11 @@ SmqEntry SparseMatrixQueue::next_entry() {
     entry.last_of_outer = cursor_k_ + 1 == csc_->col_nnz(cursor_outer_);
   }
   entry.first_of_outer = cursor_k_ == 0;
+  if (entry.last_of_outer) {
+    // cursor_k_ is the 0-based index of the unit's final non-zero, so
+    // + 1 is the outer unit's degree (row degree for CSR streams).
+    HYMM_OBS(obs_, observe_row_degree(cursor_k_ + 1));
+  }
   ++cursor_k_;
   return entry;
 }
@@ -123,6 +129,7 @@ void SparseMatrixQueue::tick(Cycle now) {
     const std::uint64_t payload = next_refill_tag_++;
     dram_.issue_read(/*line_addr=*/0, cls_, make_tag(kSmqTagSource, payload),
                      now);
+    HYMM_OBS(obs_, on_smq_refill());
     inflight_refills_.emplace_back(payload, chunk);
     requested_ += chunk;
 

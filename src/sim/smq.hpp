@@ -25,10 +25,16 @@ struct SmqEntry {
   bool last_of_outer = false;
 };
 
+class Observer;
+
 class SparseMatrixQueue {
  public:
   SparseMatrixQueue(const AcceleratorConfig& config, Dram& dram,
                     SimStats& stats);
+
+  // Attaches the observability context (read-only hooks; nullptr
+  // detaches).
+  void set_observer(Observer* obs) { obs_ = obs; }
 
   // Begins streaming a matrix. Any previous stream must be finished.
   // The matrix must outlive the stream. cls tags the refill traffic
@@ -43,6 +49,10 @@ class SparseMatrixQueue {
   bool has_ready() const { return !ready_.empty(); }
   const SmqEntry& front() const;
   void pop();
+
+  // Decoded entries waiting to be consumed (the SMQ backlog counter
+  // track).
+  std::size_t backlog() const { return ready_.size(); }
 
   // Issues refill reads and decodes arrived lines. Call once per
   // cycle after Dram::tick().
@@ -84,6 +94,7 @@ class SparseMatrixQueue {
 
   Dram& dram_;
   SimStats& stats_;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace hymm

@@ -114,6 +114,33 @@ void SimStats::merge_phase(const SimStats& other) {
   partial_bytes_peak = std::max(partial_bytes_peak, other.partial_bytes_peak);
 }
 
+SimStats scale_stats(const SimStats& s, double fraction) {
+  HYMM_DCHECK(fraction >= 0.0 && fraction <= 1.0);
+  const auto scale = [fraction](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * fraction +
+                                      0.5);
+  };
+  SimStats out = s;
+  out.cycles = scale(s.cycles);
+  out.mac_ops = scale(s.mac_ops);
+  out.alu_busy_cycles = scale(s.alu_busy_cycles);
+  out.merge_adds = scale(s.merge_adds);
+  out.dmb_read_hits = scale(s.dmb_read_hits);
+  out.dmb_read_misses = scale(s.dmb_read_misses);
+  out.dmb_accumulate_hits = scale(s.dmb_accumulate_hits);
+  out.dmb_accumulate_misses = scale(s.dmb_accumulate_misses);
+  out.dmb_evictions = scale(s.dmb_evictions);
+  out.dmb_partial_spills = scale(s.dmb_partial_spills);
+  out.lsq_loads = scale(s.lsq_loads);
+  out.lsq_stores = scale(s.lsq_stores);
+  out.lsq_forwards = scale(s.lsq_forwards);
+  for (std::size_t i = 0; i < kTrafficClassCount; ++i) {
+    out.dram_read_bytes[i] = scale(s.dram_read_bytes[i]);
+    out.dram_write_bytes[i] = scale(s.dram_write_bytes[i]);
+  }
+  return out;
+}
+
 SimStats stats_delta(const SimStats& after, const SimStats& before) {
   SimStats d = after;
   d.cycles -= before.cycles;

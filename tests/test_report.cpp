@@ -1,0 +1,180 @@
+// Report renderer tests: RFC 4180 CSV quoting, a golden-file lock on
+// the CSV header and row layout, and the JSON run report round-trip
+// (valid JSON carrying the full SimStats counter set).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace hymm {
+namespace {
+
+TEST(CsvQuote, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_quote("cora"), "cora");
+  EXPECT_EQ(csv_quote(""), "");
+  EXPECT_EQ(csv_quote("has space"), "has space");
+}
+
+TEST(CsvQuote, SpecialFieldsAreQuoted) {
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_quote(","), "\",\"");
+}
+
+ExperimentResult make_result() {
+  ExperimentResult r;
+  r.dataset = "Cora";
+  r.abbrev = "CR";
+  r.scale = 0.5;
+  r.flow = Dataflow::kHybrid;
+  r.cycles = 1000;
+  r.combination_cycles = 400;
+  r.aggregation_cycles = 600;
+  r.mac_ops = 2048;
+  r.alu_utilization = 0.25;
+  r.dmb_hit_rate = 0.75;
+  r.partial_bytes_peak = 4096;
+  r.preprocess_ms = 1.5;
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    r.dram_read_bytes[c] = 64 * (c + 1);
+    r.dram_write_bytes[c] = 32 * (c + 1);
+  }
+  r.dram_total_bytes = 2016;  // 64*21 + 32*21
+  r.verified = true;
+  r.max_abs_err = 0;
+  return r;
+}
+
+// Golden-file lock: external tooling parses this layout; any change
+// here must be deliberate and versioned.
+TEST(ResultsCsv, GoldenHeaderAndRow) {
+  std::vector<ExperimentResult> results = {make_result()};
+  std::ostringstream out;
+  write_results_csv(results, out);
+  const std::string expected =
+      "dataset,scale,flow,cycles,combination_cycles,aggregation_cycles,"
+      "mac_ops,alu_utilization,dmb_hit_rate,partial_bytes_peak,"
+      "preprocess_ms,"
+      "read_adjacency,write_adjacency,read_features,write_features,"
+      "read_weights,write_weights,read_XW,write_XW,read_AXW,write_AXW,"
+      "read_partial,write_partial,dram_total_bytes,verified,max_abs_err\n"
+      "CR,0.5,HyMM,1000,400,600,2048,0.25,0.75,4096,1.5,"
+      "64,32,128,64,192,96,256,128,320,160,384,192,2016,1,0\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ResultsCsv, CommaInDatasetNameIsQuoted) {
+  ExperimentResult r = make_result();
+  r.abbrev = "custom,graph";
+  std::vector<ExperimentResult> results = {r};
+  std::ostringstream out;
+  write_results_csv(results, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"custom,graph\",0.5,HyMM"), std::string::npos)
+      << csv;
+  // Every data row still has the same number of top-level commas as
+  // the header once the quoted field is collapsed.
+  const auto second_line = csv.substr(csv.find('\n') + 1);
+  EXPECT_EQ(second_line.find("custom,graph"),
+            second_line.find("\"custom,graph\"") + 1);
+}
+
+TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
+  ExperimentResult r = make_result();
+  // Sentinel values for every SimStats counter the report must carry.
+  r.stats.cycles = 1000;
+  r.stats.mac_ops = 11;
+  r.stats.alu_busy_cycles = 12;
+  r.stats.merge_adds = 13;
+  r.stats.dmb_read_hits = 14;
+  r.stats.dmb_read_misses = 15;
+  r.stats.dmb_accumulate_hits = 16;
+  r.stats.dmb_accumulate_misses = 17;
+  r.stats.dmb_evictions = 18;
+  r.stats.dmb_partial_spills = 19;
+  r.stats.lsq_loads = 20;
+  r.stats.lsq_stores = 21;
+  r.stats.lsq_forwards = 22;
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    r.stats.dram_read_bytes[c] = 1100 + c;
+    r.stats.dram_write_bytes[c] = 1200 + c;
+  }
+  r.stats.partial_bytes_peak = 23;
+  r.partition.nodes = 100;
+  r.partition.region1_rows = 10;
+  r.partition.region2_cols = 20;
+  r.partition.nnz_region1 = 31;
+  r.partition.nnz_region2 = 32;
+  r.partition.nnz_region3 = 33;
+
+  std::vector<ExperimentResult> results = {r};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc)) << doc;
+
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/1\""),
+            std::string::npos);
+  const auto expect_field = [&doc](const std::string& key,
+                                   std::uint64_t value) {
+    const std::string needle =
+        "\"" + key + "\": " + std::to_string(value);
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+  };
+  expect_field("mac_ops", 11);
+  expect_field("alu_busy_cycles", 12);
+  expect_field("merge_adds", 13);
+  expect_field("dmb_read_hits", 14);
+  expect_field("dmb_read_misses", 15);
+  expect_field("dmb_accumulate_hits", 16);
+  expect_field("dmb_accumulate_misses", 17);
+  expect_field("dmb_evictions", 18);
+  expect_field("dmb_partial_spills", 19);
+  expect_field("lsq_loads", 20);
+  expect_field("lsq_stores", 21);
+  expect_field("lsq_forwards", 22);
+  expect_field("partial_bytes_peak", 23);
+  expect_field("adjacency", 1100);  // first read class
+  expect_field("partial", 1205);    // last write class
+  expect_field("region1_rows", 10);
+  expect_field("nnz_region3", 33);
+  // Per-phase deltas and the hybrid's region array are present.
+  EXPECT_NE(doc.find("\"combination\""), std::string::npos);
+  EXPECT_NE(doc.find("\"aggregation\""), std::string::npos);
+  EXPECT_NE(doc.find("\"regions\""), std::string::npos);
+  // Derived ratios are numbers, not NaN (JSON has no NaN).
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(ResultsJson, NonHybridOmitsPartitionAndRegions) {
+  ExperimentResult r = make_result();
+  r.flow = Dataflow::kRowWiseProduct;
+  std::vector<ExperimentResult> results = {r};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc));
+  EXPECT_EQ(doc.find("\"partition\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"regions\""), std::string::npos);
+}
+
+TEST(ResultsJson, AppendsMetricsRegistryWhenProvided) {
+  MetricsRegistry reg;
+  reg.counter("pe.macs").add(123456);
+  std::vector<ExperimentResult> results = {make_result()};
+  std::ostringstream out;
+  write_results_json(results, out, &reg);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc));
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"pe.macs\": 123456"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymm

@@ -76,13 +76,20 @@ inline DataflowComparison run_dataset(
         std::string(trace_dir) + "/" + spec.abbrev + ".trace.json";
     std::ofstream out(path);
     observer->trace().write(out);
-    std::cerr << "[bench] wrote " << path << "\n";
+    std::cerr << "[bench] wrote " << path << " ("
+              << observer->trace().event_count() << " events";
+    if (observer->trace().dropped_instants() > 0) {
+      std::cerr << ", " << observer->trace().dropped_instants()
+                << " instants dropped";
+    }
+    std::cerr << ")\n";
   }
   if (json_dir != nullptr) {
     const std::string path =
         std::string(json_dir) + "/" + spec.abbrev + ".report.json";
     std::ofstream out(path);
-    write_results_json(comparison.results, out, &observer->metrics());
+    write_results_json(comparison.results, out, &observer->metrics(),
+                       &observer->trace());
     std::cerr << "[bench] wrote " << path << "\n";
   }
   return comparison;

@@ -1,0 +1,86 @@
+// Perf-regression harness: simulates the selected workloads under all
+// three dataflows and writes a schema-versioned BENCH_<rev>.json
+// snapshot (cycles, stall vector, DRAM bytes per dataset x dataflow).
+// scripts/perf_compare diffs two snapshots and gates CI on cycle
+// regressions.
+//
+//   perf_regression [--out FILE] [--rev NAME]
+//
+// The revision label defaults to $HYMM_BENCH_REV, then "dev"; the
+// output path defaults to BENCH_<rev>.json in the working directory.
+// Dataset selection and scaling follow the usual bench knobs
+// (HYMM_DATASETS, HYMM_SCALE, HYMM_FULL_DATASETS).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hymm;
+
+  std::string rev;
+  if (const char* env = std::getenv("HYMM_BENCH_REV")) rev = env;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--rev" && i + 1 < argc) {
+      rev = argv[++i];
+    } else {
+      std::cerr << "usage: perf_regression [--out FILE] [--rev NAME]\n";
+      return 2;
+    }
+  }
+  if (rev.empty()) rev = "dev";
+  if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
+
+  const AcceleratorConfig config;
+  std::vector<DataflowComparison> comparisons;
+  for (const DatasetSpec& spec : bench::selected_datasets()) {
+    comparisons.push_back(bench::run_dataset(spec, config));
+    bench::check_verified(comparisons.back());
+  }
+
+  std::ofstream out(out_path);
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "hymm-bench/1");
+  w.field("rev", rev);
+  w.key("runs");
+  w.begin_array();
+  for (const DataflowComparison& comparison : comparisons) {
+    for (const ExperimentResult& r : comparison.results) {
+      w.begin_object();
+      w.field("dataset", r.dataset);
+      w.field("abbrev", r.abbrev);
+      w.field("scale", r.scale);
+      w.field("flow", to_string(r.flow));
+      w.field("cycles", std::uint64_t{r.cycles});
+      w.field("dram_total_bytes", r.dram_total_bytes);
+      w.key("stalls");
+      w.begin_object();
+      for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+        w.field(stall_cause_key(static_cast<StallCause>(i)),
+                std::uint64_t{r.stats.stall_cycles[i]});
+      }
+      w.end_object();
+      w.field("bottleneck", to_string(r.stats.bottleneck()));
+      w.field("verified", r.verified);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+  out.close();
+  if (!out) {
+    std::cerr << "[bench] failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "[bench] wrote " << out_path << "\n";
+  return 0;
+}

@@ -8,6 +8,7 @@
 //   hymm_sim --dataset CR --trace=out.json --json=report.json
 //
 // Flags accept both "--flag value" and "--flag=value".
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -56,6 +57,39 @@ std::optional<Dataflow> parse_flow(const std::string& s) {
   return std::nullopt;
 }
 
+// Strict numeric flag parsing: the whole value must parse and land in
+// [min, max], otherwise exit(2) naming the offending flag. Bare
+// strtoull would silently take "abc" as 0.
+std::uint64_t parse_u64_flag(const std::string& flag, const std::string& value,
+                             std::uint64_t min_value,
+                             std::uint64_t max_value = UINT64_MAX) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+      value.front() == '-' || parsed < min_value || parsed > max_value) {
+    std::cerr << "invalid value '" << value << "' for " << flag
+              << " (expected integer >= " << min_value << ")\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+double parse_double_flag(const std::string& flag, const std::string& value,
+                         double min_value, double max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+      !(parsed >= min_value && parsed <= max_value)) {
+    std::cerr << "invalid value '" << value << "' for " << flag
+              << " (expected number in [" << min_value << ", " << max_value
+              << "])\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,16 +120,22 @@ int main(int argc, char** argv) {
     else if (arg == "--edge-list") edge_list = next();
     else if (arg == "--features") features_path = next();
     else if (arg == "--flow") flow_arg = next();
-    else if (arg == "--scale") scale = std::atof(next().c_str());
-    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--dmb-kb") config.dmb_bytes = std::strtoull(next().c_str(), nullptr, 10) * 1024;
-    else if (arg == "--tiling") config.tiling_threshold = std::atof(next().c_str());
+    else if (arg == "--scale") {
+      scale = parse_double_flag("--scale", next(), 0.0, 1.0);
+      if (scale == 0.0) {
+        std::cerr << "invalid value '0' for --scale (must be > 0)\n";
+        return 2;
+      }
+    }
+    else if (arg == "--seed") seed = parse_u64_flag("--seed", next(), 0);
+    else if (arg == "--dmb-kb") config.dmb_bytes = parse_u64_flag("--dmb-kb", next(), 1) * 1024;
+    else if (arg == "--tiling") config.tiling_threshold = parse_double_flag("--tiling", next(), 0.0, 1.0);
     else if (arg == "--fifo") config.eviction_policy = EvictionPolicy::kFifo;
     else if (arg == "--no-accumulator") config.near_memory_accumulator = false;
     else if (arg == "--csv") csv_path = next();
     else if (arg == "--trace") config.trace_path = next();
     else if (arg == "--json") config.json_path = next();
-    else if (arg == "--sample-interval") config.obs_sample_interval = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--sample-interval") config.obs_sample_interval = parse_u64_flag("--sample-interval", next(), 1);
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
     else {
       std::cerr << "unknown argument " << arg << "\n";
@@ -187,7 +227,8 @@ int main(int argc, char** argv) {
     std::cout << to_string(flow) << " ("
               << (r.verified ? "verified" : "MISMATCH")
               << ", max err " << r.max_abs_err << ")\n";
-    print_stats_summary(r.stats, std::cout);
+    print_stats_summary(r.stats, std::cout, "  ",
+                        r.dram_peak_bytes_per_cycle);
     std::cout << '\n';
     results.push_back(r);
   }
@@ -213,10 +254,17 @@ int main(int argc, char** argv) {
     observer->trace().write(trace);
     report_written(trace, config.trace_path,
                    " (open in ui.perfetto.dev or chrome://tracing)");
+    std::cerr << "trace: " << observer->trace().event_count() << " events";
+    if (observer->trace().dropped_instants() > 0) {
+      std::cerr << " (" << observer->trace().dropped_instants()
+                << " instants dropped past the event cap)";
+    }
+    std::cerr << "\n";
   }
   if (!config.json_path.empty()) {
     std::ofstream json(config.json_path);
-    write_results_json(results, json, obs ? &obs->metrics() : nullptr);
+    write_results_json(results, json, obs ? &obs->metrics() : nullptr,
+                       obs ? &obs->trace() : nullptr);
     report_written(json, config.json_path);
   }
   return write_failed ? 1 : 0;

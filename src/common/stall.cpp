@@ -1,0 +1,64 @@
+#include "common/stall.hpp"
+
+namespace hymm {
+
+const char* stall_cause_key(StallCause cause) {
+  switch (cause) {
+    case StallCause::kCompute: return "compute";
+    case StallCause::kMergeRmw: return "merge_rmw";
+    case StallCause::kDramLatency: return "dram_latency";
+    case StallCause::kDramBandwidth: return "dram_bandwidth";
+    case StallCause::kLsqFull: return "lsq_full";
+    case StallCause::kSmqBacklog: return "smq_backlog";
+    case StallCause::kDmbMiss: return "dmb_miss";
+    case StallCause::kAccumulatorConflict: return "accumulator_conflict";
+    case StallCause::kDrain: return "drain";
+  }
+  return "?";
+}
+
+std::string to_string(StallCause cause) { return stall_cause_key(cause); }
+
+std::string to_string(Bottleneck verdict) {
+  switch (verdict) {
+    case Bottleneck::kComputeBound: return "compute-bound";
+    case Bottleneck::kMemoryBound: return "memory-bound";
+    case Bottleneck::kMergeBound: return "merge-bound";
+  }
+  return "?";
+}
+
+namespace {
+Cycle at(std::span<const Cycle> stalls, StallCause cause) {
+  const auto i = static_cast<std::size_t>(cause);
+  return i < stalls.size() ? stalls[i] : 0;
+}
+}  // namespace
+
+Cycle stall_group_compute(std::span<const Cycle> stalls) {
+  return at(stalls, StallCause::kCompute);
+}
+
+Cycle stall_group_memory(std::span<const Cycle> stalls) {
+  return at(stalls, StallCause::kDramLatency) +
+         at(stalls, StallCause::kDramBandwidth) +
+         at(stalls, StallCause::kLsqFull) +
+         at(stalls, StallCause::kSmqBacklog) +
+         at(stalls, StallCause::kDmbMiss) + at(stalls, StallCause::kDrain);
+}
+
+Cycle stall_group_merge(std::span<const Cycle> stalls) {
+  return at(stalls, StallCause::kMergeRmw) +
+         at(stalls, StallCause::kAccumulatorConflict);
+}
+
+Bottleneck classify_bottleneck(std::span<const Cycle> stalls) {
+  const Cycle memory = stall_group_memory(stalls);
+  const Cycle merge = stall_group_merge(stalls);
+  const Cycle compute = stall_group_compute(stalls);
+  if (memory >= merge && memory >= compute) return Bottleneck::kMemoryBound;
+  if (merge >= compute) return Bottleneck::kMergeBound;
+  return Bottleneck::kComputeBound;
+}
+
+}  // namespace hymm

@@ -1,0 +1,58 @@
+// Top-down cycle-accounting taxonomy: every simulated cycle of every
+// engine is attributed to exactly one cause. The attribution happens
+// in the engines (they know why they could not retire work) and is
+// enforced structurally by run_phase — one bucket per loop iteration,
+// so per-phase bucket sums equal per-phase cycle counts by
+// construction. Attribution priority when multiple causes coincide is
+// documented in DESIGN.md "Cycle accounting".
+//
+// Lives in common/ (not sim/) so the observability library can name
+// the buckets without depending on the simulator models.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace hymm {
+
+enum class StallCause : std::uint8_t {
+  kCompute = 0,          // a MAC retired this cycle
+  kMergeRmw,             // partial-output merge work (OP merge stage)
+  kDramLatency,          // head load's miss fill in flight from DRAM
+  kDramBandwidth,        // channel / write-buffer / MSHR saturation
+  kLsqFull,              // LSQ allocation blocked retirement or issue
+  kSmqBacklog,           // sparse stream starved (no decoded entry)
+  kDmbMiss,              // head load pending inside the DMB pipeline
+  kAccumulatorConflict,  // near-memory accumulate store blocked
+  kDrain,                // end-of-phase drain / final output flush
+};
+inline constexpr std::size_t kStallCauseCount = 9;
+
+// Snake-case key used in JSON reports, CSV headers and trace tracks
+// (e.g. "dram_latency").
+const char* stall_cause_key(StallCause cause);
+std::string to_string(StallCause cause);
+
+// Bottleneck verdict derived from a stall vector: the paper's
+// memory-bound vs. merge-bound vs. compute-bound axis.
+enum class Bottleneck {
+  kComputeBound,  // compute dominates
+  kMemoryBound,   // dram_latency + dram_bandwidth + lsq_full +
+                  // smq_backlog + dmb_miss + drain dominate
+  kMergeBound,    // merge_rmw + accumulator_conflict dominate
+};
+
+std::string to_string(Bottleneck verdict);
+
+// Group sums over a kStallCauseCount-sized stall vector.
+Cycle stall_group_compute(std::span<const Cycle> stalls);
+Cycle stall_group_memory(std::span<const Cycle> stalls);
+Cycle stall_group_merge(std::span<const Cycle> stalls);
+
+// Argmax of the three groups; ties resolve memory > merge > compute
+// (the most common claim wins ambiguous splits).
+Bottleneck classify_bottleneck(std::span<const Cycle> stalls);
+
+}  // namespace hymm

@@ -35,14 +35,25 @@ void MemorySystem::tick_components() {
     obs_->sample_tracks(now_, dmb_.resident_lines(),
                         stats_.partial_bytes_now,
                         lsq_.pending_loads() + lsq_.pending_stores(),
-                        smq_.backlog());
+                        smq_.backlog(), stats_.stall_cycles);
     obs_next_sample_ = now_ + obs_->sample_interval();
   }
 #endif
 }
 
+void MemorySystem::sample_observer() {
+#ifndef HYMM_OBS_DISABLED
+  if (obs_ == nullptr) return;
+  obs_->sample_tracks(now_, dmb_.resident_lines(), stats_.partial_bytes_now,
+                      lsq_.pending_loads() + lsq_.pending_stores(),
+                      smq_.backlog(), stats_.stall_cycles);
+  obs_next_sample_ = now_ + obs_->sample_interval();
+#endif
+}
+
 Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
   const Cycle start = ms.now();
+  const Cycle stalls_before = ms.stats().stall_total();
   while (!engine.done(ms) || !ms.lsq().all_stores_drained() ||
          ms.dmb().has_pending_misses()) {
     HYMM_CHECK_MSG(ms.now() - start < max_cycles,
@@ -50,13 +61,19 @@ Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
                                       << " cycles — likely a deadlock");
     ms.tick_components();
     engine.tick(ms);
+    ms.stats().account(engine.cycle_cause());
     ms.advance();
   }
   // Account trailing DRAM writes still in the bandwidth pipe.
   if (ms.dram().busy_until() > ms.now()) {
+    ms.stats().account(StallCause::kDrain, ms.dram().busy_until() - ms.now());
     while (ms.now() < ms.dram().busy_until()) ms.advance();
   }
   ms.stats().cycles = ms.now();
+  // The cross-cutting accounting invariant: this phase attributed
+  // exactly as many bucket-cycles as it simulated.
+  HYMM_DCHECK(ms.stats().stall_total() - stalls_before == ms.now() - start);
+  ms.sample_observer();
   return ms.now() - start;
 }
 

@@ -50,6 +50,11 @@ class MemorySystem {
   // The phase loop calls this before the engine's tick.
   void tick_components();
 
+  // Forces a counter-track sample right now (end of a phase, so the
+  // final cumulative stall buckets reach the gauges and the trace).
+  // Reads state only; never advances or mutates the simulation.
+  void sample_observer();
+
   // Advances to the next cycle.
   void advance() { ++now_; }
 
@@ -78,7 +83,29 @@ class Engine {
 
   // One cycle of engine work at ms.now().
   virtual void tick(MemorySystem& ms) = 0;
+
+  // Cycle accounting: what the cycle just ticked was spent on. The
+  // phase loop records exactly one cause per cycle, so per-phase
+  // bucket sums equal per-phase cycle counts by construction.
+  virtual StallCause cycle_cause() const = 0;
 };
+
+// Maps a blocked load's wait state to the stall bucket it charges.
+// kReady maps to kDmbMiss: the data arrived this very cycle but the
+// engine observed the pre-tick state — a pipeline ramp bubble charged
+// to the buffer that delayed it.
+inline StallCause stall_cause_for(LoadStoreQueue::LoadWait wait) {
+  switch (wait) {
+    case LoadStoreQueue::LoadWait::kDramFill:
+      return StallCause::kDramLatency;
+    case LoadStoreQueue::LoadWait::kUnissued:
+      return StallCause::kDramBandwidth;
+    case LoadStoreQueue::LoadWait::kDmbPending:
+    case LoadStoreQueue::LoadWait::kReady:
+      return StallCause::kDmbMiss;
+  }
+  return StallCause::kDmbMiss;
+}
 
 // Runs `engine` until done (plus store/DRAM drain). Throws CheckError
 // when max_cycles elapse first — a hung engine is a bug, not a slow

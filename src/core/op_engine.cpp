@@ -1,6 +1,7 @@
 #include "core/op_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/check.hpp"
 #include "obs/hooks.hpp"
@@ -56,6 +57,7 @@ void OpEngine::tick(MemorySystem& ms) {
       tick_stream(ms);
       break;
     case Stage::kMergeSetup: {
+      cause_ = StallCause::kMergeRmw;
       if (params_.accumulate_in_buffer) {
         records_to_merge_ =
             ms.stats().dmb_partial_spills - spills_before_;
@@ -78,6 +80,7 @@ void OpEngine::tick(MemorySystem& ms) {
       tick_flush(ms);
       break;
     case Stage::kDone:
+      cause_ = StallCause::kDrain;
       break;
   }
 }
@@ -115,6 +118,11 @@ void OpEngine::append_partial_record(MemorySystem& ms) {
 }
 
 void OpEngine::tick_stream(MemorySystem& ms) {
+  // Cycle accounting: the retire slot decides the cycle's cause; when
+  // it neither retires nor identifies a blocker, the fall-through
+  // after issue charges the pipeline-fill state.
+  std::optional<StallCause> attributed;
+
   // --- Retire (one chunk-sized MAC per cycle) ---
   bool may_retire = true;
   if (store_stalled_) {
@@ -123,6 +131,7 @@ void OpEngine::tick_stream(MemorySystem& ms) {
       store_stalled_ = false;
     } else {
       may_retire = false;
+      attributed = StallCause::kAccumulatorConflict;
     }
   }
   if (may_retire && !pending_.empty()) {
@@ -135,8 +144,18 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     // for off-chip memory access" (Section V-B).
     const bool sink_ready = params_.accumulate_in_buffer ||
                             ms.dram().can_accept_write(ms.now());
+    if (!stationary_ready) {
+      attributed = stall_cause_for(ms.lsq().load_wait_state(head.load_id));
+    } else if (!sink_ready) {
+      attributed = StallCause::kDramBandwidth;
+    } else if (!ms.pe().can_issue(ms.now())) {
+      attributed = StallCause::kAccumulatorConflict;
+    } else if (ms.lsq().free_entries() == 0) {
+      attributed = StallCause::kLsqFull;
+    }
     if (stationary_ready && sink_ready && ms.pe().can_issue(ms.now()) &&
         ms.lsq().free_entries() > 0) {
+      attributed = StallCause::kCompute;
       const NodeId out_row = head.row + params_.row_offset;
       ms.pe().mac(head.value, b_lanes(head.col, head.chunk),
                   c_lanes(out_row, head.chunk), ms.now());
@@ -232,6 +251,22 @@ void OpEngine::tick_stream(MemorySystem& ms) {
       ms.lsq().all_stores_drained()) {
     stage_ = params_.outputs_pinned ? Stage::kDone : Stage::kMergeSetup;
   }
+
+  // --- Resolve the cycle's cause ---
+  if (attributed.has_value()) {
+    cause_ = *attributed;
+  } else if (!pending_.empty()) {
+    // Freshly issued (or skipped) head: charge what it waits on.
+    const Pending& head = pending_.front();
+    cause_ = head.has_load
+                 ? stall_cause_for(ms.lsq().load_wait_state(head.load_id))
+                 : StallCause::kDmbMiss;  // pipeline fill bubble
+  } else if (!ms.smq().finished()) {
+    cause_ = ms.smq().has_ready() ? StallCause::kLsqFull
+                                  : StallCause::kSmqBacklog;
+  } else {
+    cause_ = StallCause::kDrain;  // store/stage drain tail
+  }
 }
 
 OpEngine::MergeRowSet::MergeRowSet(std::size_t capacity, NodeId rows)
@@ -283,7 +318,14 @@ NodeId OpEngine::next_merge_line(const CscMatrix& sparse) {
 }
 
 void OpEngine::tick_merge(MemorySystem& ms) {
-  if (ms.now() < merge_ready_cycle_) return;
+  // The whole stage is the paper's partial-output merge disruption;
+  // cycles blocked on the record stream's first arrival or on channel
+  // headroom are charged to the memory system, the rest to the merge.
+  if (ms.now() < merge_ready_cycle_) {
+    cause_ = StallCause::kDramLatency;
+    return;
+  }
+  cause_ = StallCause::kMergeRmw;
   if (merged_records_ >= records_to_merge_) {
     stage_ = Stage::kFlush;
     return;
@@ -291,7 +333,10 @@ void OpEngine::tick_merge(MemorySystem& ms) {
   if (!ms.pe().can_issue(ms.now())) return;
   // Folding may evict a merged row (writeback) and may refetch an
   // earlier partial sum; both need channel headroom.
-  if (!ms.dram().can_accept_write(ms.now())) return;
+  if (!ms.dram().can_accept_write(ms.now())) {
+    cause_ = StallCause::kDramBandwidth;
+    return;
+  }
 
   if (!params_.accumulate_in_buffer) {
     // Replay the traversal's row order: each record read-modifies the
@@ -333,11 +378,15 @@ void OpEngine::tick_flush(MemorySystem& ms) {
       !params_.accumulate_in_buffer && merge_rows_ != nullptr
           ? merge_rows_->resident()
           : static_cast<std::uint64_t>(rows_touched_) * chunks_;
+  cause_ = StallCause::kDrain;
   if (flushed_lines_ >= flush_target) {
     stage_ = Stage::kDone;
     return;
   }
-  if (!ms.dram().can_accept_write(ms.now())) return;
+  if (!ms.dram().can_accept_write(ms.now())) {
+    cause_ = StallCause::kDramBandwidth;
+    return;
+  }
   if (params_.accumulate_in_buffer) {
     if (!ms.dmb().writeback_one_partial(params_.c_final_class, ms.now())) {
       ms.dram().issue_write(

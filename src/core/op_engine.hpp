@@ -69,6 +69,7 @@ class OpEngine final : public Engine {
 
   bool done(const MemorySystem& ms) const override;
   void tick(MemorySystem& ms) override;
+  StallCause cycle_cause() const override { return cause_; }
 
   // Observability for tests and stats reports.
   std::uint64_t spill_records_merged() const { return merged_records_; }
@@ -134,6 +135,8 @@ class OpEngine final : public Engine {
   OpEngineParams params_;
   std::size_t chunks_ = 1;  // 64-byte lines per dense row
   Stage stage_ = Stage::kStream;
+  // Cycle accounting: what this tick was spent on (set every tick).
+  StallCause cause_ = StallCause::kDrain;
   std::deque<Pending> pending_;
   bool store_stalled_ = false;
   Addr stalled_store_line_ = 0;

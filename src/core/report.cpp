@@ -5,11 +5,36 @@
 
 #include "common/table.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace hymm {
 
+namespace {
+
+// "cause=12.3%" terms for every non-zero stall bucket, largest first
+// is not needed — taxonomy order keeps related causes adjacent.
+std::string stall_breakdown_string(const SimStats& stats) {
+  const Cycle total = stats.stall_total();
+  if (total == 0) return "none";
+  std::ostringstream oss;
+  bool first = true;
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    const Cycle cycles = stats.stall_cycles[i];
+    if (cycles == 0) continue;
+    if (!first) oss << ", ";
+    first = false;
+    oss << stall_cause_key(static_cast<StallCause>(i)) << '='
+        << Table::fmt_percent(
+               static_cast<double>(cycles) / static_cast<double>(total), 1);
+  }
+  return oss.str();
+}
+
+}  // namespace
+
 void print_stats_summary(const SimStats& stats, std::ostream& out,
-                         const std::string& indent) {
+                         const std::string& indent,
+                         std::uint64_t peak_bytes_per_cycle) {
   out << indent << "cycles:          " << stats.cycles << '\n'
       << indent << "MAC ops:         " << stats.mac_ops << '\n'
       << indent << "ALU utilization: "
@@ -27,6 +52,21 @@ void print_stats_summary(const SimStats& stats, std::ostream& out,
       << indent << "DRAM traffic:    "
       << Table::fmt_bytes(static_cast<double>(stats.dram_total_bytes()))
       << " (" << dram_breakdown_string(stats) << ")\n";
+  if (stats.stall_total() > 0) {
+    out << indent << "cycle breakdown: " << stall_breakdown_string(stats)
+        << '\n'
+        << indent << "bottleneck:      " << to_string(stats.bottleneck());
+    if (peak_bytes_per_cycle > 0 && stats.cycles > 0) {
+      const double bw_util =
+          static_cast<double>(stats.dram_total_bytes()) /
+          (static_cast<double>(peak_bytes_per_cycle) *
+           static_cast<double>(stats.cycles));
+      out << " (DRAM bandwidth roofline: "
+          << Table::fmt_percent(bw_util, 1) << " of "
+          << peak_bytes_per_cycle << "B/cycle)";
+    }
+    out << '\n';
+  }
 }
 
 std::string dram_breakdown_string(const SimStats& stats) {
@@ -64,7 +104,11 @@ void write_results_csv(std::span<const ExperimentResult> results,
     out << ",read_" << to_string(static_cast<TrafficClass>(c));
     out << ",write_" << to_string(static_cast<TrafficClass>(c));
   }
-  out << ",dram_total_bytes,verified,max_abs_err\n";
+  out << ",dram_total_bytes,verified,max_abs_err";
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    out << ",stall_" << stall_cause_key(static_cast<StallCause>(i));
+  }
+  out << ",bottleneck,dram_bw_utilization\n";
   for (const ExperimentResult& r : results) {
     out << csv_quote(r.abbrev) << ',' << r.scale << ','
         << csv_quote(to_string(r.flow)) << ',' << r.cycles << ','
@@ -75,7 +119,12 @@ void write_results_csv(std::span<const ExperimentResult> results,
       out << ',' << r.dram_read_bytes[c] << ',' << r.dram_write_bytes[c];
     }
     out << ',' << r.dram_total_bytes << ',' << (r.verified ? 1 : 0) << ','
-        << r.max_abs_err << '\n';
+        << r.max_abs_err;
+    for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+      out << ',' << r.stats.stall_cycles[i];
+    }
+    out << ',' << csv_quote(to_string(r.stats.bottleneck())) << ','
+        << r.dram_bw_utilization() << '\n';
   }
 }
 
@@ -113,6 +162,15 @@ void write_stats_json(JsonWriter& w, const SimStats& s) {
   w.field("partial_bytes_peak", s.partial_bytes_peak);
   w.field("alu_utilization", s.alu_utilization());
   w.field("dmb_hit_rate", s.dmb_hit_rate());
+  w.key("stalls");
+  w.begin_object();
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    w.field(stall_cause_key(static_cast<StallCause>(i)),
+            std::uint64_t{s.stall_cycles[i]});
+  }
+  w.end_object();
+  w.field("stall_total", std::uint64_t{s.stall_total()});
+  w.field("bottleneck", to_string(s.bottleneck()));
   w.end_object();
 }
 
@@ -131,10 +189,11 @@ void write_partition_json(JsonWriter& w, const RegionPartition& p) {
 
 void write_results_json(std::span<const ExperimentResult> results,
                         std::ostream& out,
-                        const MetricsRegistry* metrics) {
+                        const MetricsRegistry* metrics,
+                        const TraceWriter* trace) {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-run-report/1");
+  w.field("schema", "hymm-run-report/2");
   w.key("results");
   w.begin_array();
   for (const ExperimentResult& r : results) {
@@ -149,6 +208,8 @@ void write_results_json(std::span<const ExperimentResult> results,
     w.field("preprocess_ms", r.preprocess_ms);
     w.field("verified", r.verified);
     w.field("max_abs_err", r.max_abs_err);
+    w.field("dram_peak_bytes_per_cycle", r.dram_peak_bytes_per_cycle);
+    w.field("dram_bw_utilization", r.dram_bw_utilization());
     if (r.flow == Dataflow::kHybrid) {
       w.key("partition");
       write_partition_json(w, r.partition);
@@ -173,6 +234,14 @@ void write_results_json(std::span<const ExperimentResult> results,
   if (metrics != nullptr && !metrics->empty()) {
     w.key("metrics");
     metrics->write_json(w);
+  }
+  if (trace != nullptr) {
+    w.key("trace");
+    w.begin_object();
+    w.field("events", static_cast<std::uint64_t>(trace->event_count()));
+    w.field("dropped_instants",
+            static_cast<std::uint64_t>(trace->dropped_instants()));
+    w.end_object();
   }
   w.end_object();
   out << '\n';

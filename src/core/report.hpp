@@ -12,10 +12,15 @@
 
 namespace hymm {
 
+class TraceWriter;
+
 // Multi-line summary of one run's counters (cycles, utilization, hit
-// rates, traffic by class, partial footprint).
+// rates, traffic by class, partial footprint), the stall breakdown
+// and the bottleneck verdict. A non-zero `peak_bytes_per_cycle`
+// (the configured DRAM peak) adds the bandwidth-roofline line.
 void print_stats_summary(const SimStats& stats, std::ostream& out,
-                         const std::string& indent = "  ");
+                         const std::string& indent = "  ",
+                         std::uint64_t peak_bytes_per_cycle = 0);
 
 // One-line "class=bytes" breakdown of DRAM traffic.
 std::string dram_breakdown_string(const SimStats& stats);
@@ -27,19 +32,24 @@ std::string csv_quote(const std::string& field);
 
 // Machine-readable experiment dump: one row per result with a fixed
 // header (dataset, flow, cycles, utilization, hit rate, per-class
-// bytes, partial peak, verification). String fields are csv_quote()d.
+// bytes, partial peak, verification, per-cause stall cycles,
+// bottleneck verdict, DRAM bandwidth utilization). String fields are
+// csv_quote()d.
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out);
 
-// JSON run report (schema "hymm-run-report/1"): one object per result
+// JSON run report (schema "hymm-run-report/2"): one object per result
 // carrying the full SimStats counter set (whole layer plus the
 // combination/aggregation phase deltas and, for hybrid runs, the
-// per-region breakdown), the partition and the verification verdict.
-// When `metrics` is non-null its counters/gauges/histograms are
-// appended under "metrics". Output is valid JSON (obs/json.hpp's
-// json_is_valid accepts it).
+// per-region breakdown), each with its stall-cycle breakdown and
+// bottleneck verdict, plus the partition and the verification
+// verdict. When `metrics` is non-null its counters/gauges/histograms
+// are appended under "metrics"; when `trace` is non-null its event
+// and dropped-instant counts are appended under "trace". Output is
+// valid JSON (obs/json.hpp's json_is_valid accepts it).
 void write_results_json(std::span<const ExperimentResult> results,
                         std::ostream& out,
-                        const MetricsRegistry* metrics = nullptr);
+                        const MetricsRegistry* metrics = nullptr,
+                        const TraceWriter* trace = nullptr);
 
 }  // namespace hymm

@@ -28,6 +28,7 @@ ExperimentResult run_experiment(const GcnWorkload& workload,
   r.dram_write_bytes = layer.stats.dram_write_bytes;
   r.partial_bytes_peak = layer.stats.partial_bytes_peak;
   r.mac_ops = layer.stats.mac_ops;
+  r.dram_peak_bytes_per_cycle = config.dram_bytes_per_cycle;
   r.combination_cycles = layer.combination_stats.cycles;
   r.aggregation_cycles = layer.aggregation_stats.cycles;
   r.preprocess_ms = layer.preprocess_ms;

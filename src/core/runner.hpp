@@ -29,6 +29,17 @@ struct ExperimentResult {
   std::uint64_t partial_bytes_peak = 0;  // Fig 10
   std::uint64_t mac_ops = 0;
 
+  // Configured DRAM peak (bytes per cycle); with cycles and
+  // dram_total_bytes this yields the bandwidth-roofline utilization
+  // reported alongside the bottleneck verdict.
+  std::uint64_t dram_peak_bytes_per_cycle = 0;
+  double dram_bw_utilization() const {
+    const double peak =
+        static_cast<double>(dram_peak_bytes_per_cycle) *
+        static_cast<double>(cycles);
+    return peak > 0.0 ? static_cast<double>(dram_total_bytes) / peak : 0.0;
+  }
+
   Cycle combination_cycles = 0;
   Cycle aggregation_cycles = 0;
   double preprocess_ms = 0.0;  // Table II sorting cost (hybrid only)

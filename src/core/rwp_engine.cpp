@@ -31,8 +31,31 @@ bool RwpEngine::done(const MemorySystem& ms) const {
 }
 
 void RwpEngine::tick(MemorySystem& ms) {
+  attributed_.reset();
   try_retire(ms);
   try_issue(ms);
+  resolve_cause(ms);
+}
+
+void RwpEngine::resolve_cause(const MemorySystem& ms) {
+  // Priority: what the retire path decided > the head load's wait
+  // state > why no work could be issued > end-of-phase drain.
+  if (attributed_.has_value()) {
+    cause_ = *attributed_;
+    return;
+  }
+  if (!pending_.empty()) {
+    cause_ = stall_cause_for(ms.lsq().load_wait_state(pending_.front().load_id));
+    return;
+  }
+  if (!ms.smq().finished()) {
+    // Nothing in flight: either the SMQ has a non-zero we could not
+    // take (LSQ lacks headroom) or the SMQ itself is still streaming.
+    cause_ = ms.smq().has_ready() ? StallCause::kLsqFull
+                                  : StallCause::kSmqBacklog;
+    return;
+  }
+  cause_ = StallCause::kDrain;
 }
 
 std::span<const Value> RwpEngine::b_lanes(NodeId row,
@@ -82,6 +105,7 @@ void RwpEngine::try_retire(MemorySystem& ms) {
   while (!pending_stores_.empty()) {
     if (!ms.lsq().store(pending_stores_.front(), params_.c_class,
                         params_.c_store_kind, ms.now())) {
+      attributed_ = StallCause::kLsqFull;
       return;
     }
     pending_stores_.pop_front();
@@ -89,13 +113,17 @@ void RwpEngine::try_retire(MemorySystem& ms) {
   if (pending_.empty()) return;
   Pending& head = pending_.front();
   if (!ms.lsq().is_ready(head.load_id)) return;
-  if (!ms.pe().can_issue(ms.now())) return;
+  if (!ms.pe().can_issue(ms.now())) {
+    attributed_ = StallCause::kAccumulatorConflict;
+    return;
+  }
 
   const NodeId out_row = head.row + params_.row_offset;
   ms.pe().mac(head.value, b_lanes(head.col, head.chunk),
               c_lanes(out_row, head.chunk), ms.now());
   ms.lsq().release_load(head.load_id);
   ++retired_;
+  attributed_ = StallCause::kCompute;
   if (head.col < params_.region2_col_boundary) {
     ++region2_macs_;
   } else {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <span>
 
 #include "core/engine.hpp"
@@ -55,6 +56,7 @@ class RwpEngine final : public Engine {
 
   bool done(const MemorySystem& ms) const override;
   void tick(MemorySystem& ms) override;
+  StallCause cycle_cause() const override { return cause_; }
 
   // Exact MAC counts on each side of region2_col_boundary (per-region
   // attribution of the hybrid's shared RWP phase).
@@ -73,6 +75,7 @@ class RwpEngine final : public Engine {
 
   void try_issue(MemorySystem& ms);
   void try_retire(MemorySystem& ms);
+  void resolve_cause(const MemorySystem& ms);
 
   std::span<const Value> b_lanes(NodeId row, std::size_t chunk) const;
   std::span<Value> c_lanes(NodeId row, std::size_t chunk) const;
@@ -86,6 +89,11 @@ class RwpEngine final : public Engine {
   std::uint64_t retired_ = 0;
   std::uint64_t region2_macs_ = 0;
   std::uint64_t region3_macs_ = 0;
+
+  // Cycle accounting: set by the retire path when it decides the
+  // cycle's fate, resolved from queue state otherwise.
+  std::optional<StallCause> attributed_;
+  StallCause cause_ = StallCause::kDrain;
 };
 
 }  // namespace hymm

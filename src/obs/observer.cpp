@@ -27,6 +27,11 @@ Observer::Observer(ObserverOptions options) : options_(options) {
   partial_bytes_gauge_ = &metrics_.gauge("partial.bytes");
   lsq_depth_gauge_ = &metrics_.gauge("lsq.depth");
   smq_backlog_gauge_ = &metrics_.gauge("smq.backlog");
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    stall_gauges_[i] = &metrics_.gauge(
+        std::string("stall.") +
+        stall_cause_key(static_cast<StallCause>(i)));
+  }
   // Row degree spans isolated nodes (0–1) to social-network hubs.
   row_degree_ = &metrics_.histogram("smq.row_degree", pow2_bounds(1, 4096));
   merge_depth_ =
@@ -80,17 +85,32 @@ void Observer::observe_engine_window(std::uint64_t pending) {
 void Observer::sample_tracks(Cycle now, std::uint64_t dmb_lines,
                              std::uint64_t partial_bytes,
                              std::uint64_t lsq_depth,
-                             std::uint64_t smq_backlog) {
+                             std::uint64_t smq_backlog,
+                             std::span<const Cycle> stall_cycles) {
   dmb_occupancy_gauge_->set(static_cast<std::int64_t>(dmb_lines));
   partial_bytes_gauge_->set(static_cast<std::int64_t>(partial_bytes));
   lsq_depth_gauge_->set(static_cast<std::int64_t>(lsq_depth));
   smq_backlog_gauge_->set(static_cast<std::int64_t>(smq_backlog));
   dmb_occupancy_hist_->observe(dmb_lines);
+  for (std::size_t i = 0;
+       i < stall_cycles.size() && i < stall_gauges_.size(); ++i) {
+    stall_gauges_[i]->set(static_cast<std::int64_t>(stall_cycles[i]));
+  }
   if (!options_.trace) return;
   trace_.counter(pid_, "DMB occupancy", "lines", now, dmb_lines);
   trace_.counter(pid_, "partial bytes", "bytes", now, partial_bytes);
   trace_.counter(pid_, "LSQ depth", "entries", now, lsq_depth);
   trace_.counter(pid_, "SMQ backlog", "entries", now, smq_backlog);
+  // One cumulative counter series per stall bucket: in the Perfetto
+  // UI the slope of "stall <cause>" is the fraction of cycles that
+  // cause is costing right now.
+  for (std::size_t i = 0;
+       i < stall_cycles.size() && i < stall_gauges_.size(); ++i) {
+    trace_.counter(pid_,
+                   std::string("stall ") +
+                       stall_cause_key(static_cast<StallCause>(i)),
+                   "cycles", now, stall_cycles[i]);
+  }
 }
 
 void Observer::phase_span(const std::string& name, Cycle begin, Cycle end) {

@@ -15,9 +15,12 @@
 //                region sub-phases on thread "regions".
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "common/stall.hpp"
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -66,10 +69,12 @@ class Observer {
   void observe_engine_window(std::uint64_t pending);
 
   // Counter-track sample, called by MemorySystem every
-  // sample_interval cycles.
+  // sample_interval cycles. `stall_cycles` is the cumulative
+  // per-cause cycle-accounting vector (kStallCauseCount entries).
   void sample_tracks(Cycle now, std::uint64_t dmb_lines,
                      std::uint64_t partial_bytes, std::uint64_t lsq_depth,
-                     std::uint64_t smq_backlog);
+                     std::uint64_t smq_backlog,
+                     std::span<const Cycle> stall_cycles);
 
   // Duration events: whole phases (combination/aggregation) and the
   // hybrid's region sub-phases.
@@ -98,6 +103,7 @@ class Observer {
   Gauge* partial_bytes_gauge_;
   Gauge* lsq_depth_gauge_;
   Gauge* smq_backlog_gauge_;
+  std::array<Gauge*, kStallCauseCount> stall_gauges_{};
   Histogram* row_degree_;
   Histogram* merge_depth_;
   Histogram* engine_window_;

@@ -110,6 +110,10 @@ class DenseMatrixBuffer {
   std::size_t pinned_lines() const { return pinned_count_; }
   bool has_pending_misses() const { return !mshrs_.empty(); }
 
+  // True when `line` has an outstanding miss fill in flight from DRAM
+  // (cycle-accounting query; never mutates state).
+  bool has_pending_miss_for(Addr line) const { return mshrs_.contains(line); }
+
  private:
   struct LineState {
     TrafficClass cls = TrafficClass::kWeights;

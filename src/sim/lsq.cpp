@@ -50,6 +50,15 @@ bool LoadStoreQueue::is_ready(EntryId id) const {
   return it != load_entries_.end() && it->second.ready;
 }
 
+LoadStoreQueue::LoadWait LoadStoreQueue::load_wait_state(EntryId id) const {
+  const auto it = load_entries_.find(id);
+  HYMM_DCHECK(it != load_entries_.end());
+  if (it == load_entries_.end() || it->second.ready) return LoadWait::kReady;
+  if (!it->second.issued) return LoadWait::kUnissued;
+  if (dmb_.has_pending_miss_for(it->second.line)) return LoadWait::kDramFill;
+  return LoadWait::kDmbPending;
+}
+
 void LoadStoreQueue::release_load(EntryId id) {
   const auto it = load_entries_.find(id);
   HYMM_CHECK_MSG(it != load_entries_.end(), "releasing unknown LSQ entry");

@@ -48,6 +48,16 @@ class LoadStoreQueue {
 
   bool is_ready(EntryId id) const;
 
+  // Why a load entry is (not) ready — drives the engines' cycle
+  // accounting. Read-only; never changes timing.
+  enum class LoadWait {
+    kReady,     // data available this cycle
+    kDramFill,  // DMB miss fill in flight from DRAM
+    kDmbPending,  // inside the DMB pipeline (hit latency / prefetch)
+    kUnissued,  // rejected by the DMB (MSHRs or DRAM read queue full)
+  };
+  LoadWait load_wait_state(EntryId id) const;
+
   // Frees a ready load entry after its data was consumed.
   void release_load(EntryId id);
 

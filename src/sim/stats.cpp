@@ -18,6 +18,12 @@ std::string to_string(TrafficClass cls) {
   return "?";
 }
 
+Cycle SimStats::stall_total() const {
+  Cycle total = 0;
+  for (const Cycle c : stall_cycles) total += c;
+  return total;
+}
+
 std::uint64_t SimStats::dram_total_read_bytes() const {
   std::uint64_t total = 0;
   for (const auto b : dram_read_bytes) total += b;
@@ -94,6 +100,9 @@ double SimStats::timeline_fraction_above(std::uint64_t bytes) const {
 
 void SimStats::merge_phase(const SimStats& other) {
   cycles += other.cycles;
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    stall_cycles[i] += other.stall_cycles[i];
+  }
   mac_ops += other.mac_ops;
   alu_busy_cycles += other.alu_busy_cycles;
   merge_adds += other.merge_adds;
@@ -138,12 +147,33 @@ SimStats scale_stats(const SimStats& s, double fraction) {
     out.dram_read_bytes[i] = scale(s.dram_read_bytes[i]);
     out.dram_write_bytes[i] = scale(s.dram_write_bytes[i]);
   }
+  // Stall buckets scale like any additive counter, but the accounting
+  // invariant sum(stall_cycles) == cycles must survive the per-bucket
+  // rounding: absorb the rounding residue into the largest bucket.
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    out.stall_cycles[i] = scale(s.stall_cycles[i]);
+    if (out.stall_cycles[i] > out.stall_cycles[largest]) largest = i;
+  }
+  if (s.stall_total() == s.cycles) {
+    const Cycle sum = out.stall_total();
+    if (sum > out.cycles) {
+      const Cycle excess = sum - out.cycles;
+      HYMM_DCHECK(out.stall_cycles[largest] >= excess);
+      out.stall_cycles[largest] -= std::min(out.stall_cycles[largest], excess);
+    } else {
+      out.stall_cycles[largest] += out.cycles - sum;
+    }
+  }
   return out;
 }
 
 SimStats stats_delta(const SimStats& after, const SimStats& before) {
   SimStats d = after;
   d.cycles -= before.cycles;
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    d.stall_cycles[i] -= before.stall_cycles[i];
+  }
   d.mac_ops -= before.mac_ops;
   d.alu_busy_cycles -= before.alu_busy_cycles;
   d.merge_adds -= before.merge_adds;

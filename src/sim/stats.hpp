@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stall.hpp"
 #include "common/types.hpp"
 
 namespace hymm {
@@ -29,6 +30,13 @@ std::string to_string(TrafficClass cls);
 
 struct SimStats {
   Cycle cycles = 0;
+
+  // Cycle accounting: every simulated cycle is attributed to exactly
+  // one StallCause by the engine that owned it (run_phase enforces
+  // one bucket per loop iteration), so sum(stall_cycles) == cycles
+  // for every phase and for the whole run. See DESIGN.md "Cycle
+  // accounting" for the taxonomy and attribution priority.
+  std::array<Cycle, kStallCauseCount> stall_cycles{};
 
   // Compute.
   std::uint64_t mac_ops = 0;        // scalar x vector MACs retired
@@ -71,6 +79,23 @@ struct SimStats {
 
   // Fraction of sampled time the footprint exceeded `bytes`.
   double timeline_fraction_above(std::uint64_t bytes) const;
+
+  // Attributes `n` cycles to `cause`.
+  void account(StallCause cause, Cycle n = 1) {
+    stall_cycles[static_cast<std::size_t>(cause)] += n;
+  }
+
+  Cycle stall(StallCause cause) const {
+    return stall_cycles[static_cast<std::size_t>(cause)];
+  }
+
+  // Sum over all stall buckets; equals `cycles` when the accounting
+  // invariant holds.
+  Cycle stall_total() const;
+
+  // Bottleneck verdict over the stall vector (memory-bound /
+  // merge-bound / compute-bound).
+  Bottleneck bottleneck() const { return classify_bottleneck(stall_cycles); }
 
   // Derived metrics -------------------------------------------------
   std::uint64_t dram_total_read_bytes() const;

@@ -131,6 +131,23 @@ TEST_P(ConfigSweep, AllDataflowsVerifyUnderEveryConfig) {
     }
     EXPECT_EQ(class_sum, r.stats.dram_total_bytes());
 
+    // Cycle accounting: every cycle lands in exactly one stall
+    // bucket, per phase and for the whole layer, and compute cycles
+    // equal retired MACs.
+    EXPECT_EQ(r.stats.stall_total(), std::uint64_t{r.stats.cycles});
+    EXPECT_EQ(r.combination_stats.stall_total(),
+              std::uint64_t{r.combination_stats.cycles});
+    EXPECT_EQ(r.aggregation_stats.stall_total(),
+              std::uint64_t{r.aggregation_stats.cycles});
+    EXPECT_EQ(r.stats.stall(StallCause::kCompute), r.stats.mac_ops);
+    if (flow == Dataflow::kHybrid) {
+      for (std::size_t region = 0; region < 3; ++region) {
+        const SimStats& rs = r.hybrid_info.region_stats[region];
+        EXPECT_EQ(rs.stall_total(), std::uint64_t{rs.cycles})
+            << "region " << region + 1;
+      }
+    }
+
     // (c) No leaked partial-output state.
     EXPECT_EQ(r.stats.partial_bytes_now, 0u)
         << "unmerged partial bytes left behind";

@@ -10,6 +10,7 @@
 #include "core/report.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace hymm {
 namespace {
@@ -46,8 +47,15 @@ ExperimentResult make_result() {
     r.dram_write_bytes[c] = 32 * (c + 1);
   }
   r.dram_total_bytes = 2016;  // 64*21 + 32*21
+  r.dram_peak_bytes_per_cycle = 64;
   r.verified = true;
   r.max_abs_err = 0;
+  // Stall vector summing to cycles: 700 compute, 100 merge, 200 DRAM
+  // latency — a compute-bound verdict.
+  r.stats.cycles = 1000;
+  r.stats.account(StallCause::kCompute, 700);
+  r.stats.account(StallCause::kMergeRmw, 100);
+  r.stats.account(StallCause::kDramLatency, 200);
   return r;
 }
 
@@ -63,9 +71,14 @@ TEST(ResultsCsv, GoldenHeaderAndRow) {
       "preprocess_ms,"
       "read_adjacency,write_adjacency,read_features,write_features,"
       "read_weights,write_weights,read_XW,write_XW,read_AXW,write_AXW,"
-      "read_partial,write_partial,dram_total_bytes,verified,max_abs_err\n"
+      "read_partial,write_partial,dram_total_bytes,verified,max_abs_err,"
+      "stall_compute,stall_merge_rmw,stall_dram_latency,"
+      "stall_dram_bandwidth,stall_lsq_full,stall_smq_backlog,"
+      "stall_dmb_miss,stall_accumulator_conflict,stall_drain,"
+      "bottleneck,dram_bw_utilization\n"
       "CR,0.5,HyMM,1000,400,600,2048,0.25,0.75,4096,1.5,"
-      "64,32,128,64,192,96,256,128,320,160,384,192,2016,1,0\n";
+      "64,32,128,64,192,96,256,128,320,160,384,192,2016,1,0,"
+      "700,100,200,0,0,0,0,0,0,compute-bound,0.0315\n";
   EXPECT_EQ(out.str(), expected);
 }
 
@@ -119,7 +132,7 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   const std::string doc = out.str();
   ASSERT_TRUE(json_is_valid(doc)) << doc;
 
-  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/1\""),
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/2\""),
             std::string::npos);
   const auto expect_field = [&doc](const std::string& key,
                                    std::uint64_t value) {
@@ -144,6 +157,14 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   expect_field("partial", 1205);    // last write class
   expect_field("region1_rows", 10);
   expect_field("nnz_region3", 33);
+  // Stall breakdown, verdict and roofline (schema /2 additions).
+  expect_field("compute", 700);
+  expect_field("dram_latency", 200);
+  expect_field("stall_total", 1000);
+  expect_field("dram_peak_bytes_per_cycle", 64);
+  EXPECT_NE(doc.find("\"bottleneck\": \"compute-bound\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"dram_bw_utilization\""), std::string::npos);
   // Per-phase deltas and the hybrid's region array are present.
   EXPECT_NE(doc.find("\"combination\""), std::string::npos);
   EXPECT_NE(doc.find("\"aggregation\""), std::string::npos);
@@ -174,6 +195,20 @@ TEST(ResultsJson, AppendsMetricsRegistryWhenProvided) {
   ASSERT_TRUE(json_is_valid(doc));
   EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
   EXPECT_NE(doc.find("\"pe.macs\": 123456"), std::string::npos);
+}
+
+TEST(ResultsJson, AppendsTraceInfoWhenProvided) {
+  TraceWriter trace;
+  trace.instant(0, "evt", 1);
+  trace.instant(0, "evt", 2);
+  std::vector<ExperimentResult> results = {make_result()};
+  std::ostringstream out;
+  write_results_json(results, out, nullptr, &trace);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc));
+  EXPECT_NE(doc.find("\"trace\""), std::string::npos);
+  EXPECT_NE(doc.find("\"events\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped_instants\": 0"), std::string::npos);
 }
 
 }  // namespace

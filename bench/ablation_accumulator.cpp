@@ -6,23 +6,26 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Near-memory accumulator ablation (HyMM)",
                       "Fig 10 / Section IV-D");
 
+  // configs[0] = accumulator on, configs[1] = off.
+  std::vector<AcceleratorConfig> configs(2);
+  configs[1].near_memory_accumulator = false;
+  const auto sweep =
+      bench::run_config_sweep(opts, configs, {Dataflow::kHybrid});
+
   Table table({"Dataset", "Accumulator", "Cycles", "DRAM",
                "Partial peak", "ALU util"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    for (const bool accumulator : {true, false}) {
-      AcceleratorConfig config;
-      config.near_memory_accumulator = accumulator;
-      const DataflowComparison cmp =
-          bench::run_dataset(spec, config, {Dataflow::kHybrid});
-      bench::check_verified(cmp);
+  for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const DataflowComparison& cmp = sweep[c][d];
       const auto& hymm = cmp.by_flow(Dataflow::kHybrid);
       table.add_row(
-          {bench::scale_note(cmp), accumulator ? "on" : "off",
+          {bench::scale_note(cmp), c == 0 ? "on" : "off",
            std::to_string(hymm.cycles),
            Table::fmt_bytes(static_cast<double>(hymm.dram_total_bytes)),
            Table::fmt_bytes(static_cast<double>(hymm.partial_bytes_peak)),

@@ -6,36 +6,42 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  BenchOptions opts = bench::init(argc, argv);
   bench::print_header("DMB capacity / eviction-policy sweep",
                       "design-space ablation of Table III");
 
+  if (!opts.datasets_explicit) opts.datasets = {*find_dataset("AP")};
   const std::vector<std::size_t> sizes_kb = {32, 64, 128, 256, 512, 1024};
+  const std::vector<EvictionPolicy> policies = {EvictionPolicy::kLru,
+                                                EvictionPolicy::kFifo};
+  std::vector<AcceleratorConfig> configs;
+  for (const std::size_t kb : sizes_kb) {
+    for (const EvictionPolicy policy : policies) {
+      AcceleratorConfig config;
+      config.dmb_bytes = kb * 1024;
+      config.eviction_policy = policy;
+      configs.push_back(config);
+    }
+  }
+  const auto sweep = bench::run_config_sweep(opts, configs);
+
   Table table({"Dataset", "DMB", "Policy", "OP cycles", "RWP cycles",
                "HyMM cycles", "HyMM hit"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    if (std::getenv("HYMM_DATASETS") == nullptr && spec.abbrev != "AP") {
-      continue;
-    }
-    for (const std::size_t kb : sizes_kb) {
-      for (const EvictionPolicy policy :
-           {EvictionPolicy::kLru, EvictionPolicy::kFifo}) {
-        AcceleratorConfig config;
-        config.dmb_bytes = kb * 1024;
-        config.eviction_policy = policy;
-        const DataflowComparison cmp = bench::run_dataset(spec, config);
-        bench::check_verified(cmp);
-        table.add_row(
-            {bench::scale_note(cmp), std::to_string(kb) + "KB",
-             to_string(policy),
-             std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
-             std::to_string(
-                 cmp.by_flow(Dataflow::kRowWiseProduct).cycles),
-             std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles),
-             Table::fmt_percent(
-                 cmp.by_flow(Dataflow::kHybrid).dmb_hit_rate, 1)});
-      }
+  for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const DataflowComparison& cmp = sweep[c][d];
+      table.add_row(
+          {bench::scale_note(cmp),
+           std::to_string(sizes_kb[c / policies.size()]) + "KB",
+           to_string(policies[c % policies.size()]),
+           std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
+           std::to_string(
+               cmp.by_flow(Dataflow::kRowWiseProduct).cycles),
+           std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles),
+           Table::fmt_percent(
+               cmp.by_flow(Dataflow::kHybrid).dmb_hit_rate, 1)});
     }
   }
   table.print(std::cout);

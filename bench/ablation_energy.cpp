@@ -9,17 +9,16 @@
 #include "bench_common.hpp"
 #include "model/energy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Energy estimate per dataflow",
                       "extension (coefficient model, see energy.hpp)");
 
   const AcceleratorConfig config;
   Table table({"Dataset", "Flow", "PE", "DMB", "DRAM", "Other", "Total",
                "Avg power", "vs OP"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const DataflowComparison cmp = bench::run_dataset(spec, config);
-    bench::check_verified(cmp);
+  for (const DataflowComparison& cmp : bench::run_datasets(opts, config)) {
     const EnergyReport op_energy = estimate_energy(
         cmp.by_flow(Dataflow::kOuterProduct).stats, config);
     for (const ExperimentResult& r : cmp.results) {

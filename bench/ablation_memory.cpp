@@ -7,22 +7,29 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Memory-system parameter sweeps",
                       "modeling ablation (Sections IV-B/IV-D)");
 
-  const DatasetSpec spec = *find_dataset("AP");
+  // The paper's AP workload unless the user narrowed the selection to
+  // something else; each sub-sweep uses the first selected dataset.
+  if (!opts.datasets_explicit) opts.datasets = {*find_dataset("AP")};
+  opts.datasets.resize(1);
 
   std::cout << "-- MSHR count (miss-level parallelism) --\n";
+  const std::vector<std::size_t> mshr_counts = {4, 8, 16, 32, 64};
+  std::vector<AcceleratorConfig> mshr_configs(mshr_counts.size());
+  for (std::size_t c = 0; c < mshr_counts.size(); ++c) {
+    mshr_configs[c].dmb_mshr_entries = mshr_counts[c];
+  }
+  const auto mshr_sweep = bench::run_config_sweep(opts, mshr_configs);
   Table mshr_table({"MSHRs", "OP cycles", "RWP cycles", "HyMM cycles"});
-  for (const std::size_t mshrs : {4u, 8u, 16u, 32u, 64u}) {
-    AcceleratorConfig config;
-    config.dmb_mshr_entries = mshrs;
-    const DataflowComparison cmp = bench::run_dataset(spec, config);
-    bench::check_verified(cmp);
+  for (std::size_t c = 0; c < mshr_counts.size(); ++c) {
+    const DataflowComparison& cmp = mshr_sweep[c][0];
     mshr_table.add_row(
-        {std::to_string(mshrs),
+        {std::to_string(mshr_counts[c]),
          std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
          std::to_string(cmp.by_flow(Dataflow::kRowWiseProduct).cycles),
          std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles)});
@@ -30,30 +37,36 @@ int main() {
   mshr_table.print(std::cout);
 
   std::cout << "\n-- OP stationary-row prefetch depth --\n";
+  const std::vector<std::size_t> depths = {0, 16, 64, 128, 256};
+  std::vector<AcceleratorConfig> pf_configs(depths.size());
+  for (std::size_t c = 0; c < depths.size(); ++c) {
+    pf_configs[c].op_prefetch_columns = depths[c];
+  }
+  const auto pf_sweep = bench::run_config_sweep(
+      opts, pf_configs, {Dataflow::kOuterProduct, Dataflow::kHybrid});
   Table pf_table({"Depth", "OP cycles", "HyMM cycles"});
-  for (const std::size_t depth : {0u, 16u, 64u, 128u, 256u}) {
-    AcceleratorConfig config;
-    config.op_prefetch_columns = depth;
-    const DataflowComparison cmp = bench::run_dataset(
-        spec, config, {Dataflow::kOuterProduct, Dataflow::kHybrid});
-    bench::check_verified(cmp);
+  for (std::size_t c = 0; c < depths.size(); ++c) {
+    const DataflowComparison& cmp = pf_sweep[c][0];
     pf_table.add_row(
-        {std::to_string(depth),
+        {std::to_string(depths[c]),
          std::to_string(cmp.by_flow(Dataflow::kOuterProduct).cycles),
          std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles)});
   }
   pf_table.print(std::cout);
 
   std::cout << "\n-- DRAM write-buffer depth (spill back-pressure) --\n";
+  const std::vector<std::size_t> wb_lines = {8, 32, 64, 256};
+  std::vector<AcceleratorConfig> wb_configs(wb_lines.size());
+  for (std::size_t c = 0; c < wb_lines.size(); ++c) {
+    wb_configs[c].dram_write_buffer_lines = wb_lines[c];
+  }
+  const auto wb_sweep = bench::run_config_sweep(
+      opts, wb_configs, {Dataflow::kOuterProduct, Dataflow::kHybrid});
   Table wb_table({"Lines", "OP cycles", "OP util", "HyMM cycles"});
-  for (const std::size_t lines : {8u, 32u, 64u, 256u}) {
-    AcceleratorConfig config;
-    config.dram_write_buffer_lines = lines;
-    const DataflowComparison cmp = bench::run_dataset(
-        spec, config, {Dataflow::kOuterProduct, Dataflow::kHybrid});
-    bench::check_verified(cmp);
+  for (std::size_t c = 0; c < wb_lines.size(); ++c) {
+    const DataflowComparison& cmp = wb_sweep[c][0];
     const auto& op = cmp.by_flow(Dataflow::kOuterProduct);
-    wb_table.add_row({std::to_string(lines), std::to_string(op.cycles),
+    wb_table.add_row({std::to_string(wb_lines[c]), std::to_string(op.cycles),
                       Table::fmt_percent(op.alu_utilization, 1),
                       std::to_string(cmp.by_flow(Dataflow::kHybrid).cycles)});
   }

@@ -11,21 +11,22 @@
 #include "graph/degree_sort.hpp"
 #include "linalg/gcn.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Graph-reordering study (RWP baseline)",
                       "Section II-C context (graph preprocessing)");
 
+  // Only the two datasets the paper highlights unless filtered.
+  if (!opts.datasets_explicit) {
+    opts.datasets = {*find_dataset("AP"), *find_dataset("AC")};
+  }
   const Accelerator accelerator{AcceleratorConfig{}};
   Table table({"Dataset", "Ordering", "Cycles", "Agg cycles",
                "DMB hit rate", "DRAM"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    if (std::getenv("HYMM_DATASETS") == nullptr &&
-        spec.abbrev != "AP" && spec.abbrev != "AC") {
-      continue;
-    }
+  for (const DatasetSpec& spec : opts.datasets) {
     const GcnWorkload workload =
-        build_workload(spec, bench::scale_for(spec));
+        build_workload(spec, opts.scale_for(spec));
     const CsrMatrix a_hat = normalize_adjacency(workload.adjacency);
     const DenseMatrix weights = DenseMatrix::random(
         workload.spec.feature_length, workload.spec.layer_dim, 49);

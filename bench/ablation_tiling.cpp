@@ -7,29 +7,33 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Tiling-threshold sweep (HyMM)",
                       "design-space ablation of Section IV-E");
 
+  // Only the two datasets the paper highlights unless filtered.
+  if (!opts.datasets_explicit) {
+    opts.datasets = {*find_dataset("AP"), *find_dataset("AC")};
+  }
   const std::vector<double> thresholds = {0.0, 0.05, 0.10, 0.20,
                                           0.35, 0.50};
+  std::vector<AcceleratorConfig> configs(thresholds.size());
+  for (std::size_t c = 0; c < thresholds.size(); ++c) {
+    configs[c].tiling_threshold = thresholds[c];
+  }
+  const auto sweep =
+      bench::run_config_sweep(opts, configs, {Dataflow::kHybrid});
+
   Table table({"Dataset", "Threshold", "R1 rows", "Cycles", "DRAM",
                "Partial peak", "Hit rate"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    // Only the two datasets the paper highlights unless filtered.
-    if (std::getenv("HYMM_DATASETS") == nullptr &&
-        spec.abbrev != "AP" && spec.abbrev != "AC") {
-      continue;
-    }
-    for (const double threshold : thresholds) {
-      AcceleratorConfig config;
-      config.tiling_threshold = threshold;
-      const DataflowComparison cmp =
-          bench::run_dataset(spec, config, {Dataflow::kHybrid});
-      bench::check_verified(cmp);
+  for (std::size_t d = 0; d < opts.datasets.size(); ++d) {
+    for (std::size_t c = 0; c < thresholds.size(); ++c) {
+      const DataflowComparison& cmp = sweep[c][d];
       const auto& hymm = cmp.by_flow(Dataflow::kHybrid);
-      table.add_row({bench::scale_note(cmp), Table::fmt_percent(threshold, 0),
+      table.add_row({bench::scale_note(cmp),
+                     Table::fmt_percent(thresholds[c], 0),
                      std::to_string(hymm.partition.region1_rows),
                      std::to_string(hymm.cycles),
                      Table::fmt_bytes(static_cast<double>(

@@ -2,20 +2,24 @@
 //
 // Every binary simulates the paper's seven workloads (Table II) under
 // the dataflows it needs and prints the rows/series of one table or
-// figure. Environment knobs:
-//   HYMM_DATASETS=CR,AP       run a subset (abbreviations)
-//   HYMM_FULL_DATASETS=1      simulate Flickr/Yelp at full size
-//   HYMM_SCALE=0.1            override the scale for every dataset
-//   HYMM_TRACE_DIR=dir        write a Perfetto trace per dataset
-//   HYMM_JSON_DIR=dir         write a JSON run report per dataset
+// figure. The shared knobs (environment variables or --key=value
+// flags; flags win) are parsed by BenchOptions::from_env_and_args:
+//   HYMM_DATASETS=CR,AP  / --datasets=CR,AP   run a subset
+//   HYMM_FULL_DATASETS=1 / --full-datasets    Flickr/Yelp at full size
+//   HYMM_SCALE=0.1       / --scale=0.1        scale override
+//   HYMM_TRACE_DIR=dir   / --trace-dir=dir    Perfetto trace per dataset
+//   HYMM_JSON_DIR=dir    / --json-dir=dir     JSON run report per dataset
+//   HYMM_THREADS=4       / --threads=4        sweep workers (0 = auto)
+// Unknown datasets or malformed values fail fast with exit 2 naming
+// the offender. Simulated cycle counts are independent of the thread
+// count — the sweep executor guarantees bit-identical per-cell stats.
 #pragma once
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -24,75 +28,14 @@
 #include "core/runner.hpp"
 #include "graph/datasets.hpp"
 #include "obs/observer.hpp"
+#include "sweep/bench_options.hpp"
+#include "sweep/sweep.hpp"
 
 namespace hymm::bench {
 
-inline std::vector<DatasetSpec> selected_datasets() {
-  std::vector<DatasetSpec> selected;
-  const char* filter = std::getenv("HYMM_DATASETS");
-  if (filter == nullptr) return paper_datasets();
-  std::stringstream ss(filter);
-  std::string token;
-  while (std::getline(ss, token, ',')) {
-    if (const auto spec = find_dataset(token)) selected.push_back(*spec);
-  }
-  return selected.empty() ? paper_datasets() : selected;
-}
-
-inline double scale_for(const DatasetSpec& spec) {
-  if (const char* s = std::getenv("HYMM_SCALE")) {
-    const double v = std::atof(s);
-    if (v > 0.0 && v <= 1.0) return v;
-  }
-  return default_scale(spec);
-}
-
-// Runs the three-dataflow comparison for one dataset at its bench
-// scale, announcing progress on stderr (the tables go to stdout).
-// With HYMM_TRACE_DIR / HYMM_JSON_DIR set, a trace / JSON run report
-// is written per dataset to <dir>/<abbrev>.trace.json and
-// <dir>/<abbrev>.report.json.
-inline DataflowComparison run_dataset(
-    const DatasetSpec& spec,
-    const AcceleratorConfig& config = AcceleratorConfig{},
-    const std::vector<Dataflow>& flows = {Dataflow::kOuterProduct,
-                                          Dataflow::kRowWiseProduct,
-                                          Dataflow::kHybrid}) {
-  const double scale = scale_for(spec);
-  std::cerr << "[bench] simulating " << spec.abbrev << " at scale " << scale
-            << " ..." << std::endl;
-  const char* trace_dir = std::getenv("HYMM_TRACE_DIR");
-  const char* json_dir = std::getenv("HYMM_JSON_DIR");
-  std::optional<Observer> observer;
-  if (trace_dir != nullptr || json_dir != nullptr) {
-    ObserverOptions oopts;
-    oopts.trace = trace_dir != nullptr;
-    observer.emplace(oopts);
-  }
-  DataflowComparison comparison = compare_dataflows(
-      spec, config, flows, scale, 42, observer ? &*observer : nullptr);
-  if (trace_dir != nullptr) {
-    const std::string path =
-        std::string(trace_dir) + "/" + spec.abbrev + ".trace.json";
-    std::ofstream out(path);
-    observer->trace().write(out);
-    std::cerr << "[bench] wrote " << path << " ("
-              << observer->trace().event_count() << " events";
-    if (observer->trace().dropped_instants() > 0) {
-      std::cerr << ", " << observer->trace().dropped_instants()
-                << " instants dropped";
-    }
-    std::cerr << ")\n";
-  }
-  if (json_dir != nullptr) {
-    const std::string path =
-        std::string(json_dir) + "/" + spec.abbrev + ".report.json";
-    std::ofstream out(path);
-    write_results_json(comparison.results, out, &observer->metrics(),
-                       &observer->trace());
-    std::cerr << "[bench] wrote " << path << "\n";
-  }
-  return comparison;
+// Parses the shared bench knobs; exits 2 on a bad flag or env value.
+inline BenchOptions init(int argc, char** argv) {
+  return BenchOptions::from_env_and_args(argc, argv);
 }
 
 inline std::string scale_note(const DataflowComparison& comparison) {
@@ -120,6 +63,101 @@ inline void check_verified(const DataflowComparison& comparison) {
                 << r.max_abs_err << ")\n";
     }
   }
+}
+
+// Runs `flows` on every selected dataset for each config, scheduling
+// the (dataset, config) grid across opts.threads sweep workers with
+// one shared workload build per dataset. Results come back in stable
+// grid order, indexed [config][dataset], with cycles bit-identical to
+// a serial run. With trace/json dirs set, one file per (dataset,
+// config) group is written: <dir>/<abbrev>.trace.json (plus a ".cK"
+// infix for configs beyond the first when sweeping several).
+inline std::vector<std::vector<DataflowComparison>> run_config_sweep(
+    const BenchOptions& opts,
+    const std::vector<AcceleratorConfig>& configs,
+    const std::vector<Dataflow>& flows = {Dataflow::kOuterProduct,
+                                          Dataflow::kRowWiseProduct,
+                                          Dataflow::kHybrid}) {
+  SweepSpec spec;
+  spec.datasets = opts.datasets;
+  spec.configs = configs;
+  spec.flows = flows;
+  spec.scale = opts.scale;
+  if (!opts.scale && opts.full_datasets) spec.scale = 1.0;
+  spec.seed = opts.seed;
+
+  SweepOptions sweep_options;
+  sweep_options.threads = opts.threads;
+  sweep_options.observe = opts.observing();
+  sweep_options.observer_options.trace = !opts.trace_dir.empty();
+  // One group per (dataset, config): its flows share one observer and
+  // run serially, so each trace/report file covers one comparison.
+  sweep_options.group_key = [](const SweepCell& cell) {
+    return cell.spec.abbrev + "#" + std::to_string(cell.config_index);
+  };
+  sweep_options.on_group_start = [](const SweepCell& first) {
+    std::cerr << "[bench] simulating " << first.spec.abbrev << " at scale "
+              << first.scale << " ..." << std::endl;
+  };
+
+  SweepRunner runner(sweep_options);
+  const SweepRun run = runner.run(spec);
+
+  std::vector<std::vector<DataflowComparison>> by_config(
+      configs.size(),
+      std::vector<DataflowComparison>(opts.datasets.size()));
+  for (const SweepGroup& group : run.groups) {
+    const SweepCell& first = run.cells[group.cells.front()].cell;
+    const std::size_t dataset_index =
+        first.index / (configs.size() * flows.size());
+    DataflowComparison& comparison =
+        by_config[first.config_index][dataset_index];
+    comparison.spec = run.cells[group.cells.front()].scaled_spec;
+    comparison.scale = first.scale;
+    for (const std::size_t ci : group.cells) {
+      comparison.results.push_back(run.cells[ci].result);
+    }
+    check_verified(comparison);
+
+    if (group.observer == nullptr) continue;
+    // cK infix keeps multi-config sweeps from overwriting each other.
+    const std::string infix =
+        configs.size() > 1 ? ".c" + std::to_string(first.config_index) : "";
+    if (!opts.trace_dir.empty()) {
+      const std::string path = opts.trace_dir + "/" + comparison.spec.abbrev +
+                               infix + ".trace.json";
+      std::ofstream out(path);
+      group.observer->trace().write(out);
+      std::cerr << "[bench] wrote " << path << " ("
+                << group.observer->trace().event_count() << " events";
+      if (group.observer->trace().dropped_instants() > 0) {
+        std::cerr << ", " << group.observer->trace().dropped_instants()
+                  << " instants dropped";
+      }
+      std::cerr << ")\n";
+    }
+    if (!opts.json_dir.empty()) {
+      const std::string path = opts.json_dir + "/" + comparison.spec.abbrev +
+                               infix + ".report.json";
+      std::ofstream out(path);
+      write_results_json(comparison.results, out, &group.observer->metrics(),
+                         &group.observer->trace());
+      std::cerr << "[bench] wrote " << path << "\n";
+    }
+  }
+  return by_config;
+}
+
+// Single-config convenience: the three-dataflow comparison for every
+// selected dataset, in selection order.
+inline std::vector<DataflowComparison> run_datasets(
+    const BenchOptions& opts, const AcceleratorConfig& config = {},
+    const std::vector<Dataflow>& flows = {Dataflow::kOuterProduct,
+                                          Dataflow::kRowWiseProduct,
+                                          Dataflow::kHybrid}) {
+  std::vector<std::vector<DataflowComparison>> by_config =
+      run_config_sweep(opts, {config}, flows);
+  return std::move(by_config.front());
 }
 
 }  // namespace hymm::bench

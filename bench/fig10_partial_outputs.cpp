@@ -7,18 +7,17 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Memory usage by partial outputs", "Fig 10");
 
   const AcceleratorConfig config;
   Table table({"Dataset", "OP w/o accumulator", "HyMM", "Reduction",
                "OP time above DMB", "HyMM time above DMB"});
   std::vector<std::pair<std::string, const ExperimentResult>> sparks;
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const DataflowComparison cmp = bench::run_dataset(
-        spec, config, {Dataflow::kOuterProduct, Dataflow::kHybrid});
-    bench::check_verified(cmp);
+  for (const DataflowComparison& cmp : bench::run_datasets(
+           opts, config, {Dataflow::kOuterProduct, Dataflow::kHybrid})) {
     const auto& op = cmp.by_flow(Dataflow::kOuterProduct);
     const auto& hymm = cmp.by_flow(Dataflow::kHybrid);
     const double reduction =
@@ -35,8 +34,8 @@ int main() {
              op.stats.timeline_fraction_above(config.dmb_bytes), 1),
          Table::fmt_percent(
              hymm.stats.timeline_fraction_above(config.dmb_bytes), 1)});
-    sparks.emplace_back(spec.abbrev + "/OP  ", op);
-    sparks.emplace_back(spec.abbrev + "/HyMM", hymm);
+    sparks.emplace_back(cmp.spec.abbrev + "/OP  ", op);
+    sparks.emplace_back(cmp.spec.abbrev + "/HyMM", hymm);
   }
   table.print(std::cout);
 

@@ -6,15 +6,14 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("DRAM access breakdown", "Fig 11");
 
   Table table({"Dataset", "Flow", "adjacency", "features", "weights", "XW",
                "AXW", "partial", "total", "vs OP"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const DataflowComparison cmp = bench::run_dataset(spec);
-    bench::check_verified(cmp);
+  for (const DataflowComparison& cmp : bench::run_datasets(opts)) {
     const auto& op = cmp.by_flow(Dataflow::kOuterProduct);
     for (const ExperimentResult& r : cmp.results) {
       std::vector<std::string> row = {bench::scale_note(cmp),

@@ -13,8 +13,9 @@
 #include "graph/generator.hpp"
 #include "graph/partition.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Graph degree distribution", "Fig 2");
 
   const std::vector<double> fractions = {0.01, 0.05, 0.10, 0.20,
@@ -28,8 +29,8 @@ int main() {
 
   Table table(header);
   bool all_hold = true;
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const GcnWorkload w = build_workload(spec, bench::scale_for(spec));
+  for (const DatasetSpec& spec : opts.datasets) {
+    const GcnWorkload w = build_workload(spec, opts.scale_for(spec));
     std::vector<std::string> row = {spec.abbrev};
     for (const double f : fractions) {
       row.push_back(
@@ -61,8 +62,8 @@ int main() {
   Table regions({"Dataset", "Region-1 rows", "Region-2 cols", "nnz R1",
                  "nnz R2", "nnz R3"});
   const AcceleratorConfig config;
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const GcnWorkload w = build_workload(spec, bench::scale_for(spec));
+  for (const DatasetSpec& spec : opts.datasets) {
+    const GcnWorkload w = build_workload(spec, opts.scale_for(spec));
     const CsrMatrix sorted = degree_sort(w.adjacency).sorted;
     const RegionPartition p = partition_regions(sorted, config);
     regions.add_row(

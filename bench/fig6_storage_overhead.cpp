@@ -8,15 +8,16 @@
 #include "graph/degree_sort.hpp"
 #include "graph/partition.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Storage usage of the adjacency matrix", "Fig 6");
 
   const AcceleratorConfig config;
   Table table({"Dataset", "Flat CSR", "HyMM tiled", "Overhead",
                "Avg degree"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const GcnWorkload w = build_workload(spec, bench::scale_for(spec));
+  for (const DatasetSpec& spec : opts.datasets) {
+    const GcnWorkload w = build_workload(spec, opts.scale_for(spec));
     const CsrMatrix sorted = degree_sort(w.adjacency).sorted;
     const RegionPartition partition = partition_regions(sorted, config);
     const TiledAdjacency tiled = TiledAdjacency::build(sorted, partition);

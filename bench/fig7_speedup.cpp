@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Speedup of HyMM and baseline dataflows", "Fig 7");
 
   Table table({"Dataset", "OP cycles", "RWP cycles", "HyMM cycles",
@@ -16,9 +17,7 @@ int main() {
   double best_hymm = 0.0;
   std::string best_dataset;
   std::size_t count = 0;
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const DataflowComparison cmp = bench::run_dataset(spec);
-    bench::check_verified(cmp);
+  for (const DataflowComparison& cmp : bench::run_datasets(opts)) {
     const auto& op = cmp.by_flow(Dataflow::kOuterProduct);
     const auto& rwp = cmp.by_flow(Dataflow::kRowWiseProduct);
     const auto& hymm = cmp.by_flow(Dataflow::kHybrid);
@@ -30,7 +29,7 @@ int main() {
     ++count;
     if (hymm_speedup > best_hymm) {
       best_hymm = hymm_speedup;
-      best_dataset = spec.abbrev;
+      best_dataset = cmp.spec.abbrev;
     }
     const bool verified = op.verified && rwp.verified && hymm.verified;
     table.add_row({bench::scale_note(cmp), std::to_string(op.cycles),

@@ -7,23 +7,22 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Utilization of ALU", "Fig 8");
 
   Table table({"Dataset", "OP", "RWP", "HyMM", "HyMM - RWP"});
   double best_gain = 0.0;
   std::string best_dataset;
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const DataflowComparison cmp = bench::run_dataset(spec);
-    bench::check_verified(cmp);
+  for (const DataflowComparison& cmp : bench::run_datasets(opts)) {
     const auto& op = cmp.by_flow(Dataflow::kOuterProduct);
     const auto& rwp = cmp.by_flow(Dataflow::kRowWiseProduct);
     const auto& hymm = cmp.by_flow(Dataflow::kHybrid);
     const double gain = hymm.alu_utilization - rwp.alu_utilization;
     if (gain > best_gain) {
       best_gain = gain;
-      best_dataset = spec.abbrev;
+      best_dataset = cmp.spec.abbrev;
     }
     table.add_row({bench::scale_note(cmp),
                    Table::fmt_percent(op.alu_utilization, 1),

@@ -6,14 +6,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Hit ratio of dense matrix buffer", "Fig 9");
 
   Table table({"Dataset", "OP", "RWP", "HyMM"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const DataflowComparison cmp = bench::run_dataset(spec);
-    bench::check_verified(cmp);
+  for (const DataflowComparison& cmp : bench::run_datasets(opts)) {
     table.add_row({bench::scale_note(cmp),
                    Table::fmt_percent(
                        cmp.by_flow(Dataflow::kOuterProduct).dmb_hit_rate, 1),

@@ -4,12 +4,13 @@
 // scripts/perf_compare diffs two snapshots and gates CI on cycle
 // regressions.
 //
-//   perf_regression [--out FILE] [--rev NAME]
+//   perf_regression [--out FILE] [--rev NAME] [bench flags]
 //
 // The revision label defaults to $HYMM_BENCH_REV, then "dev"; the
 // output path defaults to BENCH_<rev>.json in the working directory.
-// Dataset selection and scaling follow the usual bench knobs
-// (HYMM_DATASETS, HYMM_SCALE, HYMM_FULL_DATASETS).
+// Dataset selection, scaling and sweep parallelism follow the shared
+// bench knobs (HYMM_DATASETS, HYMM_SCALE, HYMM_FULL_DATASETS,
+// HYMM_THREADS / --datasets, --scale, --threads, ...).
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -21,29 +22,28 @@
 int main(int argc, char** argv) {
   using namespace hymm;
 
+  std::vector<std::string> rest;
+  const BenchOptions opts = BenchOptions::from_env_and_args(argc, argv, &rest);
+
   std::string rev;
   if (const char* env = std::getenv("HYMM_BENCH_REV")) rev = env;
   std::string out_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--rev" && i + 1 < argc) {
-      rev = argv[++i];
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == "--out" && i + 1 < rest.size()) {
+      out_path = rest[++i];
+    } else if (rest[i] == "--rev" && i + 1 < rest.size()) {
+      rev = rest[++i];
     } else {
-      std::cerr << "usage: perf_regression [--out FILE] [--rev NAME]\n";
+      std::cerr << "usage: perf_regression [--out FILE] [--rev NAME] "
+                   "[bench flags]\n";
       return 2;
     }
   }
   if (rev.empty()) rev = "dev";
   if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
 
-  const AcceleratorConfig config;
-  std::vector<DataflowComparison> comparisons;
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    comparisons.push_back(bench::run_dataset(spec, config));
-    bench::check_verified(comparisons.back());
-  }
+  const std::vector<DataflowComparison> comparisons =
+      bench::run_datasets(opts);
 
   std::ofstream out(out_path);
   JsonWriter w(out);

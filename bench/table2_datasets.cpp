@@ -9,15 +9,16 @@
 #include "graph/degree_sort.hpp"
 #include "graph/generator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  const BenchOptions opts = bench::init(argc, argv);
   bench::print_header("Graph datasets", "Table II");
 
   Table table({"Dataset", "Nodes", "Edges", "Adj sparsity", "Feat sparsity",
                "Feat len", "Layer dim", "Top-20% edge share",
                "Sort cost (ms)"});
-  for (const DatasetSpec& spec : bench::selected_datasets()) {
-    const double scale = bench::scale_for(spec);
+  for (const DatasetSpec& spec : opts.datasets) {
+    const double scale = opts.scale_for(spec);
     const GcnWorkload w = build_workload(spec, scale);
     const DegreeSortResult sorted = degree_sort(w.adjacency);
     const double adj_sparsity =

@@ -5,8 +5,9 @@
 #include "bench_common.hpp"
 #include "model/area.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
+  (void)bench::init(argc, argv);
   bench::print_header("Hardware parameters and estimated area",
                       "Table III");
 

@@ -1,20 +1,46 @@
 // Architect's view: how HyMM's performance and silicon area trade off
 // as the main design knobs move (DMB capacity, PE count), using the
-// cycle model and the calibrated Table III area model together.
+// cycle model and the calibrated Table III area model together. The
+// nine configurations run as one parallel sweep (HYMM_THREADS /
+// --threads) sharing a single AP workload build.
 #include <iostream>
 #include <vector>
 
 #include "common/table.hpp"
-#include "core/runner.hpp"
-#include "graph/datasets.hpp"
 #include "model/area.hpp"
+#include "sweep/bench_options.hpp"
+#include "sweep/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
 
+  BenchOptions opts = BenchOptions::from_env_and_args(argc, argv);
   const DatasetSpec ap = *find_dataset("AP");
   std::cout << "HyMM design-space exploration on " << ap.name
             << " (x0.5 scale)\n\n";
+
+  const std::vector<std::size_t> pe_counts = {8, 16, 32};
+  const std::vector<std::size_t> dmb_kbs = {128, 256, 512};
+
+  SweepSpec spec;
+  spec.datasets = {ap};
+  spec.flows = {Dataflow::kHybrid};
+  spec.scale = 0.5;
+  spec.seed = opts.seed;
+  spec.configs.clear();
+  for (const std::size_t pes : pe_counts) {
+    for (const std::size_t dmb_kb : dmb_kbs) {
+      AcceleratorConfig config;
+      config.pe_count = pes;
+      config.dmb_bytes = dmb_kb * 1024;
+      spec.configs.push_back(config);
+    }
+  }
+
+  SweepOptions sweep_options;
+  sweep_options.threads = opts.threads;
+  SweepRunner runner(sweep_options);
+  const SweepRun run = runner.run(spec);
 
   struct Point {
     std::size_t pes;
@@ -25,20 +51,16 @@ int main() {
     double perf_per_mm2;  // 1 / (cycles * mm^2)
   };
   std::vector<Point> points;
-  for (const std::size_t pes : {8u, 16u, 32u}) {
-    for (const std::size_t dmb_kb : {128u, 256u, 512u}) {
-      AcceleratorConfig config;
-      config.pe_count = pes;
-      config.dmb_bytes = dmb_kb * 1024;
-      const DataflowComparison cmp = compare_dataflows(
-          ap, config, {Dataflow::kHybrid}, /*scale=*/0.5);
-      const ExperimentResult& r = cmp.by_flow(Dataflow::kHybrid);
-      const AreaReport area = estimate_area(config);
-      points.push_back({pes, dmb_kb, r.cycles, r.dram_total_bytes,
-                        area.total_40nm_mm2,
-                        1.0 / (static_cast<double>(r.cycles) *
-                               area.total_40nm_mm2)});
-    }
+  for (const SweepCellResult& cell : run.cells) {
+    const std::size_t pes = pe_counts[cell.cell.config_index / dmb_kbs.size()];
+    const std::size_t dmb_kb =
+        dmb_kbs[cell.cell.config_index % dmb_kbs.size()];
+    const ExperimentResult& r = cell.result;
+    const AreaReport area = estimate_area(cell.cell.config);
+    points.push_back({pes, dmb_kb, r.cycles, r.dram_total_bytes,
+                      area.total_40nm_mm2,
+                      1.0 / (static_cast<double>(r.cycles) *
+                             area.total_40nm_mm2)});
   }
 
   // Normalize performance-per-area to the paper's configuration

@@ -7,21 +7,26 @@
 //   hymm_sim --dataset AC --dmb-kb 512 --tiling 0.1 --csv out.csv
 //   hymm_sim --dataset CR --trace=out.json --json=report.json
 //
-// Flags accept both "--flag value" and "--flag=value".
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
+// Flags accept both "--flag value" and "--flag=value". The shared
+// bench knobs (--scale, --seed, --threads and their HYMM_* envs) are
+// parsed by BenchOptions; the flows run as sweep cells, in parallel
+// when more than one worker is available and no trace/JSON observer
+// forces them onto one serial group.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/flags.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "graph/generator.hpp"
 #include "graph/io.hpp"
-#include "linalg/gcn.hpp"
 #include "obs/observer.hpp"
+#include "sweep/bench_options.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -39,6 +44,7 @@ void usage() {
       "  --flow <op|rwp|hymm|all>           dataflow (default: all)\n"
       "  --scale <0..1>       dataset scale (default: bench default)\n"
       "  --seed <n>           workload seed (default 42)\n"
+      "  --threads <n>        sweep workers (default: HYMM_THREADS/auto)\n"
       "  --dmb-kb <n>         DMB capacity in KB (default 256)\n"
       "  --tiling <0..1>      tiling threshold (default 0.2)\n"
       "  --fifo               FIFO eviction instead of LRU\n"
@@ -57,91 +63,57 @@ std::optional<Dataflow> parse_flow(const std::string& s) {
   return std::nullopt;
 }
 
-// Strict numeric flag parsing: the whole value must parse and land in
-// [min, max], otherwise exit(2) naming the offending flag. Bare
-// strtoull would silently take "abc" as 0.
-std::uint64_t parse_u64_flag(const std::string& flag, const std::string& value,
-                             std::uint64_t min_value,
-                             std::uint64_t max_value = UINT64_MAX) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
-      value.front() == '-' || parsed < min_value || parsed > max_value) {
-    std::cerr << "invalid value '" << value << "' for " << flag
-              << " (expected integer >= " << min_value << ")\n";
-    std::exit(2);
-  }
-  return parsed;
-}
-
-double parse_double_flag(const std::string& flag, const std::string& value,
-                         double min_value, double max_value) {
-  errno = 0;
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
-      !(parsed >= min_value && parsed <= max_value)) {
-    std::cerr << "invalid value '" << value << "' for " << flag
-              << " (expected number in [" << min_value << ", " << max_value
-              << "])\n";
-    std::exit(2);
-  }
-  return parsed;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace hymm;
-  std::string dataset, edge_list, features_path, flow_arg = "all", csv_path;
-  double scale = -1.0;
-  std::uint64_t seed = 42;
-  AcceleratorConfig config;
 
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    // "--flag=value" is equivalent to "--flag value".
-    std::optional<std::string> inline_value;
-    if (const auto eq = arg.find('=');
-        eq != std::string::npos && arg.rfind("--", 0) == 0) {
-      inline_value = arg.substr(eq + 1);
-      arg.resize(eq);
-    }
-    auto next = [&]() -> std::string {
-      if (inline_value && !inline_value->empty()) return *inline_value;
-      if (inline_value || i + 1 >= argc) {
-        std::cerr << "missing value for " << arg << "\n";
-        std::exit(2);
+  // Shared knobs (--scale/--seed/--threads + HYMM_* envs) first; the
+  // driver-specific flags pass through in `rest`.
+  std::vector<std::string> rest;
+  const BenchOptions opts = BenchOptions::from_env_and_args(argc, argv, &rest);
+
+  std::string dataset, edge_list, features_path, flow_arg = "all", csv_path;
+  AcceleratorConfig config;
+  try {
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      std::string arg = rest[i];
+      // "--flag=value" is equivalent to "--flag value".
+      std::optional<std::string> inline_value;
+      if (const auto eq = arg.find('=');
+          eq != std::string::npos && arg.rfind("--", 0) == 0) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
       }
-      return argv[++i];
-    };
-    if (arg == "--dataset") dataset = next();
-    else if (arg == "--edge-list") edge_list = next();
-    else if (arg == "--features") features_path = next();
-    else if (arg == "--flow") flow_arg = next();
-    else if (arg == "--scale") {
-      scale = parse_double_flag("--scale", next(), 0.0, 1.0);
-      if (scale == 0.0) {
-        std::cerr << "invalid value '0' for --scale (must be > 0)\n";
+      auto next = [&]() -> std::string {
+        if (inline_value && !inline_value->empty()) return *inline_value;
+        if (inline_value || i + 1 >= rest.size()) {
+          throw UsageError("missing value for " + arg);
+        }
+        return rest[++i];
+      };
+      if (arg == "--dataset") dataset = next();
+      else if (arg == "--edge-list") edge_list = next();
+      else if (arg == "--features") features_path = next();
+      else if (arg == "--flow") flow_arg = next();
+      else if (arg == "--dmb-kb") config.dmb_bytes = parse_u64_value("--dmb-kb", next(), 1) * 1024;
+      else if (arg == "--tiling") config.tiling_threshold = parse_double_value("--tiling", next(), 0.0, 1.0);
+      else if (arg == "--fifo") config.eviction_policy = EvictionPolicy::kFifo;
+      else if (arg == "--no-accumulator") config.near_memory_accumulator = false;
+      else if (arg == "--csv") csv_path = next();
+      else if (arg == "--trace") config.trace_path = next();
+      else if (arg == "--json") config.json_path = next();
+      else if (arg == "--sample-interval") config.obs_sample_interval = parse_u64_value("--sample-interval", next(), 1);
+      else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+      else {
+        std::cerr << "unknown argument " << arg << "\n";
+        usage();
         return 2;
       }
     }
-    else if (arg == "--seed") seed = parse_u64_flag("--seed", next(), 0);
-    else if (arg == "--dmb-kb") config.dmb_bytes = parse_u64_flag("--dmb-kb", next(), 1) * 1024;
-    else if (arg == "--tiling") config.tiling_threshold = parse_double_flag("--tiling", next(), 0.0, 1.0);
-    else if (arg == "--fifo") config.eviction_policy = EvictionPolicy::kFifo;
-    else if (arg == "--no-accumulator") config.near_memory_accumulator = false;
-    else if (arg == "--csv") csv_path = next();
-    else if (arg == "--trace") config.trace_path = next();
-    else if (arg == "--json") config.json_path = next();
-    else if (arg == "--sample-interval") config.obs_sample_interval = parse_u64_flag("--sample-interval", next(), 1);
-    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
-    else {
-      std::cerr << "unknown argument " << arg << "\n";
-      usage();
-      return 2;
-    }
+  } catch (const UsageError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
   }
 
   std::vector<Dataflow> flows;
@@ -155,17 +127,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // --- Build the workload ---
-  GcnWorkload workload;
+  // --- Build the workload (adjacency, features, weights, golden) ---
+  std::shared_ptr<const PreparedWorkload> prepared;
   if (!dataset.empty()) {
     const auto spec = find_dataset(dataset);
     if (!spec) {
       std::cerr << "unknown dataset '" << dataset << "'\n";
       return 2;
     }
-    const double effective = scale > 0 ? scale : default_scale(*spec);
-    workload = build_workload(*spec, effective, seed);
+    const double effective =
+        opts.scale ? *opts.scale
+                   : (opts.full_datasets ? 1.0 : default_scale(*spec));
+    prepared = std::make_shared<PreparedWorkload>(*spec, effective, opts.seed);
   } else if (!edge_list.empty()) {
+    GcnWorkload workload;
     EdgeListOptions options;
     options.symmetrize = true;
     options.drop_self_loops = true;
@@ -186,45 +161,50 @@ int main(int argc, char** argv) {
       fspec.nodes = workload.spec.nodes;
       fspec.feature_length = 128;
       fspec.density = 0.2;
-      fspec.seed = seed + 1;
+      fspec.seed = opts.seed + 1;
       workload.features = generate_features(fspec);
     }
     workload.spec.feature_length = workload.features.cols();
+    prepared = std::make_shared<PreparedWorkload>(std::move(workload),
+                                                  opts.seed);
   } else {
     usage();
     return 2;
   }
 
-  std::cout << "Workload: " << workload.spec.name << " — "
-            << workload.spec.nodes << " nodes, "
-            << workload.adjacency.nnz() << " edges, "
-            << workload.features.cols() << " features\n\n";
+  std::cout << "Workload: " << prepared->workload().spec.name << " — "
+            << prepared->workload().spec.nodes << " nodes, "
+            << prepared->workload().adjacency.nnz() << " edges, "
+            << prepared->workload().features.cols() << " features\n\n";
 
-  const CsrMatrix a_hat = normalize_adjacency(workload.adjacency);
-  const DenseMatrix weights = DenseMatrix::random(
-      workload.features.cols(), workload.spec.layer_dim, seed + 7);
-  const GcnLayerResult golden =
-      gcn_layer_reference(a_hat, workload.features, weights, false);
+  // --- Run the flows as one sweep ---
+  SweepSpec sweep_spec;
+  sweep_spec.workloads = {prepared};
+  sweep_spec.configs = {config};
+  sweep_spec.flows = flows;
+  sweep_spec.seed = opts.seed;
 
-  // One observer for every flow: each run becomes its own trace
-  // process group and the metrics registry aggregates across runs.
-  std::optional<Observer> observer;
-  if (!config.trace_path.empty() || !config.json_path.empty()) {
-    ObserverOptions oopts;
-    oopts.trace = !config.trace_path.empty();
-    oopts.sample_interval = config.obs_sample_interval;
-    observer.emplace(oopts);
+  const bool observing =
+      !config.trace_path.empty() || !config.json_path.empty();
+  SweepOptions sweep_options;
+  sweep_options.threads = opts.threads;
+  sweep_options.observe = observing;
+  sweep_options.observer_options.trace = !config.trace_path.empty();
+  sweep_options.observer_options.sample_interval = config.obs_sample_interval;
+  if (observing) {
+    // One observer for every flow: each run becomes its own trace
+    // process group and the metrics registry aggregates across runs.
+    sweep_options.group_key = [](const SweepCell&) {
+      return std::string("all");
+    };
   }
-  Observer* obs = observer ? &*observer : nullptr;
+  SweepRunner runner(sweep_options);
+  const SweepRun run = runner.run(sweep_spec);
 
   std::vector<ExperimentResult> results;
-  for (const Dataflow flow : flows) {
-    if (obs != nullptr) {
-      obs->begin_run(to_string(flow) + "/" + workload.spec.abbrev);
-    }
-    const ExperimentResult r = run_experiment(
-        workload, a_hat, weights, golden.aggregation, flow, config, obs);
-    std::cout << to_string(flow) << " ("
+  for (const SweepCellResult& cell : run.cells) {
+    const ExperimentResult& r = cell.result;
+    std::cout << to_string(r.flow) << " ("
               << (r.verified ? "verified" : "MISMATCH")
               << ", max err " << r.max_abs_err << ")\n";
     print_stats_summary(r.stats, std::cout, "  ",
@@ -233,6 +213,8 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  const std::shared_ptr<Observer> observer =
+      observing ? run.groups.front().observer : nullptr;
   bool write_failed = false;
   const auto report_written = [&write_failed](const std::ofstream& out,
                                               const std::string& path,
@@ -263,8 +245,8 @@ int main(int argc, char** argv) {
   }
   if (!config.json_path.empty()) {
     std::ofstream json(config.json_path);
-    write_results_json(results, json, obs ? &obs->metrics() : nullptr,
-                       obs ? &obs->trace() : nullptr);
+    write_results_json(results, json, observer ? &observer->metrics() : nullptr,
+                       observer ? &observer->trace() : nullptr);
     report_written(json, config.json_path);
   }
   return write_failed ? 1 : 0;

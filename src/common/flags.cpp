@@ -1,0 +1,42 @@
+#include "common/flags.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace hymm {
+
+std::uint64_t parse_u64_value(const std::string& flag,
+                              const std::string& value,
+                              std::uint64_t min_value,
+                              std::uint64_t max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+      value.front() == '-' || parsed < min_value || parsed > max_value) {
+    std::ostringstream oss;
+    oss << "invalid value '" << value << "' for " << flag
+        << " (expected integer >= " << min_value << ")";
+    throw UsageError(oss.str());
+  }
+  return parsed;
+}
+
+double parse_double_value(const std::string& flag, const std::string& value,
+                          double min_value, double max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno != 0 ||
+      !(parsed >= min_value && parsed <= max_value)) {
+    std::ostringstream oss;
+    oss << "invalid value '" << value << "' for " << flag
+        << " (expected number in [" << min_value << ", " << max_value
+        << "])";
+    throw UsageError(oss.str());
+  }
+  return parsed;
+}
+
+}  // namespace hymm

@@ -1,0 +1,31 @@
+// Strict command-line / environment value parsing shared by hymm_sim
+// and the bench binaries: the whole value must parse and land in
+// range, otherwise a UsageError names the offending flag (bare strtod
+// / atof would silently take "abc" as 0). Drivers catch UsageError at
+// the top of main and exit(2).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hymm {
+
+// A malformed flag or environment value. what() names the offender
+// and the expected range; drivers print it and exit(2).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Parses an unsigned integer in [min_value, max_value]; `flag` is the
+// name reported on failure (e.g. "--seed" or "HYMM_THREADS").
+std::uint64_t parse_u64_value(const std::string& flag,
+                              const std::string& value,
+                              std::uint64_t min_value,
+                              std::uint64_t max_value = UINT64_MAX);
+
+// Parses a floating-point number in [min_value, max_value].
+double parse_double_value(const std::string& flag, const std::string& value,
+                          double min_value, double max_value);
+
+}  // namespace hymm

@@ -20,6 +20,23 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
                                       const CsrMatrix& x,
                                       const DenseMatrix& w,
                                       Observer* obs) const {
+  LayerRunRequest request;
+  request.flow = flow;
+  request.a_hat = &a_hat;
+  request.x = &x;
+  request.w = &w;
+  request.observer = obs;
+  return run_layer(request);
+}
+
+LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
+  HYMM_CHECK(request.a_hat != nullptr && request.x != nullptr &&
+             request.w != nullptr);
+  const Dataflow flow = request.flow;
+  const CsrMatrix& a_hat = *request.a_hat;
+  const CsrMatrix& x = *request.x;
+  const DenseMatrix& w = *request.w;
+  Observer* obs = request.observer;
   HYMM_CHECK(a_hat.rows() == a_hat.cols());
   HYMM_CHECK(a_hat.cols() == x.rows());
   HYMM_CHECK(x.cols() == w.rows());
@@ -35,20 +52,40 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
   const bool hybrid = flow == Dataflow::kHybrid;
   CsrMatrix sorted_a;
   CsrMatrix sorted_x;
-  std::vector<NodeId> perm;
+  std::vector<NodeId> perm_local;
+  std::span<const NodeId> perm;
+  const CsrMatrix* a_used = &a_hat;
+  const CsrMatrix* x_used = &x;
   TiledAdjacency tiled;
   if (hybrid) {
-    Timer timer;
-    DegreeSortResult sort = degree_sort(a_hat);
-    perm = std::move(sort.perm);
-    sorted_a = std::move(sort.sorted);
-    sorted_x = permute_feature_rows(x, perm);
-    result.partition = partition_regions(sorted_a, config_, chunks);
-    tiled = TiledAdjacency::build(sorted_a, result.partition);
-    result.preprocess_ms = timer.elapsed_ms();
+    if (request.sort != nullptr) {
+      // Precomputed degree sort (shared immutably by the caller, e.g.
+      // the sweep executor's WorkloadCache); only the region
+      // partition and tiling remain, which depend on this config.
+      HYMM_CHECK_MSG(request.sorted_features != nullptr,
+                     "LayerRunRequest.sort without sorted_features");
+      HYMM_CHECK(request.sort->perm.size() == n);
+      HYMM_CHECK(request.sort->sorted.rows() == n);
+      perm = request.sort->perm;
+      a_used = &request.sort->sorted;
+      x_used = request.sorted_features;
+      result.partition = partition_regions(*a_used, config_, chunks);
+      tiled = TiledAdjacency::build(*a_used, result.partition);
+      result.preprocess_ms = request.sort->sort_cost_ms;
+    } else {
+      Timer timer;
+      DegreeSortResult sort = degree_sort(a_hat);
+      perm_local = std::move(sort.perm);
+      perm = perm_local;
+      sorted_a = std::move(sort.sorted);
+      sorted_x = permute_feature_rows(x, perm);
+      a_used = &sorted_a;
+      x_used = &sorted_x;
+      result.partition = partition_regions(*a_used, config_, chunks);
+      tiled = TiledAdjacency::build(*a_used, result.partition);
+      result.preprocess_ms = timer.elapsed_ms();
+    }
   }
-  const CsrMatrix& a_used = hybrid ? sorted_a : a_hat;
-  const CsrMatrix& x_used = hybrid ? sorted_x : x;
 
   // --- Memory system and address space ---
   MemorySystem ms(config_);
@@ -74,7 +111,7 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
   // --- Combination phase: XW = X * W ---
   CscMatrix x_csc;  // OP architecture streams X column-wise
   if (flow == Dataflow::kOuterProduct) {
-    x_csc = CscMatrix::from_csr(x_used);
+    x_csc = CscMatrix::from_csr(*x_used);
     OpEngineParams op;
     op.sparse = &x_csc;
     op.sparse_class = TrafficClass::kFeatures;
@@ -91,7 +128,7 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
     run_phase(ms, engine);
   } else {
     RwpEngineParams rwp;
-    rwp.sparse = &x_used;
+    rwp.sparse = x_used;
     rwp.sparse_class = TrafficClass::kFeatures;
     rwp.b = &w;
     rwp.b_region = w_region;
@@ -117,7 +154,7 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
   switch (flow) {
     case Dataflow::kRowWiseProduct: {
       RwpEngineParams rwp;
-      rwp.sparse = &a_used;
+      rwp.sparse = a_used;
       rwp.sparse_class = TrafficClass::kAdjacency;
       rwp.b = &xw;
       rwp.b_region = xw_region;
@@ -132,7 +169,7 @@ LayerRunResult Accelerator::run_layer(Dataflow flow, const CsrMatrix& a_hat,
       break;
     }
     case Dataflow::kOuterProduct: {
-      a_csc = CscMatrix::from_csr(a_used);
+      a_csc = CscMatrix::from_csr(*a_used);
       OpEngineParams op;
       op.sparse = &a_csc;
       op.sparse_class = TrafficClass::kAdjacency;

@@ -12,6 +12,7 @@
 #include "core/engine.hpp"
 #include "core/hybrid_engine.hpp"
 #include "graph/csr.hpp"
+#include "graph/degree_sort.hpp"
 #include "graph/partition.hpp"
 #include "linalg/dense.hpp"
 
@@ -40,6 +41,30 @@ struct LayerRunResult {
   }
 };
 
+// Everything one layer run needs. The required inputs are a_hat
+// (n x n sparse), x (n x f sparse) and w (f x d dense; d > 16 spans
+// multiple lines per row). `observer` (optional) collects metrics and
+// trace events for the run; it never affects timing — cycle counts
+// are identical with or without an observer attached.
+//
+// `sort` + `sorted_features` optionally supply the hybrid's
+// degree-sorting preprocessing precomputed (the WorkloadCache shares
+// one sort across every cell of a sweep): sort->sorted must be a_hat
+// symmetrically permuted by sort->perm and sorted_features the
+// feature rows under the same permutation. Ignored for the
+// homogeneous dataflows; when absent the hybrid sorts internally.
+// Simulated cycles are identical either way — sorting is host-side
+// preprocessing, only its wall-clock cost (preprocess_ms) differs.
+struct LayerRunRequest {
+  Dataflow flow = Dataflow::kRowWiseProduct;
+  const CsrMatrix* a_hat = nullptr;
+  const CsrMatrix* x = nullptr;
+  const DenseMatrix* w = nullptr;
+  Observer* observer = nullptr;
+  const DegreeSortResult* sort = nullptr;
+  const CsrMatrix* sorted_features = nullptr;
+};
+
 class Accelerator {
  public:
   explicit Accelerator(const AcceleratorConfig& config);
@@ -47,10 +72,10 @@ class Accelerator {
   const AcceleratorConfig& config() const { return config_; }
 
   // Simulates one GCN layer H = a_hat * x * w (no activation).
-  // a_hat: n x n sparse; x: n x f sparse; w: f x d dense; d > 16 spans multiple lines per row.
-  // `obs` (optional) collects metrics and trace events for the run;
-  // it never affects timing — cycle counts are identical with or
-  // without an observer attached.
+  LayerRunResult run_layer(const LayerRunRequest& request) const;
+
+  // Convenience overload for callers without precomputed
+  // preprocessing (equivalent to filling a LayerRunRequest).
   LayerRunResult run_layer(Dataflow flow, const CsrMatrix& a_hat,
                            const CsrMatrix& x, const DenseMatrix& w,
                            Observer* obs = nullptr) const;

@@ -4,22 +4,29 @@
 
 namespace hymm {
 
-ExperimentResult run_experiment(const GcnWorkload& workload,
-                                const CsrMatrix& a_hat,
-                                const DenseMatrix& weights,
-                                const DenseMatrix& reference_output,
-                                Dataflow flow,
-                                const AcceleratorConfig& config,
-                                Observer* obs) {
+ExperimentResult run_experiment(const ExperimentRequest& request) {
+  HYMM_CHECK(request.workload != nullptr && request.a_hat != nullptr &&
+             request.weights != nullptr && request.reference != nullptr);
+  const GcnWorkload& workload = *request.workload;
+  const AcceleratorConfig& config = request.config;
+  const DenseMatrix& reference_output = *request.reference;
+
   Accelerator accelerator(config);
-  const LayerRunResult layer =
-      accelerator.run_layer(flow, a_hat, workload.features, weights, obs);
+  LayerRunRequest layer_request;
+  layer_request.flow = request.flow;
+  layer_request.a_hat = request.a_hat;
+  layer_request.x = &workload.features;
+  layer_request.w = request.weights;
+  layer_request.observer = request.observer;
+  layer_request.sort = request.sort;
+  layer_request.sorted_features = request.sorted_features;
+  const LayerRunResult layer = accelerator.run_layer(layer_request);
 
   ExperimentResult r;
   r.dataset = workload.spec.name;
   r.abbrev = workload.spec.abbrev;
   r.scale = workload.scale;
-  r.flow = flow;
+  r.flow = request.flow;
   r.cycles = layer.stats.cycles;
   r.alu_utilization = layer.stats.alu_utilization();
   r.dmb_hit_rate = layer.stats.dmb_hit_rate();
@@ -42,6 +49,24 @@ ExperimentResult run_experiment(const GcnWorkload& workload,
   r.verified = DenseMatrix::allclose(layer.output, reference_output,
                                      /*rtol=*/1e-3, /*atol=*/1e-4);
   return r;
+}
+
+ExperimentResult run_experiment(const GcnWorkload& workload,
+                                const CsrMatrix& a_hat,
+                                const DenseMatrix& weights,
+                                const DenseMatrix& reference_output,
+                                Dataflow flow,
+                                const AcceleratorConfig& config,
+                                Observer* obs) {
+  ExperimentRequest request;
+  request.workload = &workload;
+  request.a_hat = &a_hat;
+  request.weights = &weights;
+  request.reference = &reference_output;
+  request.flow = flow;
+  request.config = config;
+  request.observer = obs;
+  return run_experiment(request);
 }
 
 const ExperimentResult& DataflowComparison::by_flow(Dataflow flow) const {
@@ -73,8 +98,15 @@ DataflowComparison compare_dataflows(const DatasetSpec& spec,
     if (obs != nullptr) {
       obs->begin_run(to_string(flow) + "/" + workload.spec.abbrev);
     }
-    comparison.results.push_back(run_experiment(
-        workload, a_hat, weights, golden.aggregation, flow, config, obs));
+    ExperimentRequest request;
+    request.workload = &workload;
+    request.a_hat = &a_hat;
+    request.weights = &weights;
+    request.reference = &golden.aggregation;
+    request.flow = flow;
+    request.config = config;
+    request.observer = obs;
+    comparison.results.push_back(run_experiment(request));
   }
   return comparison;
 }

@@ -64,10 +64,31 @@ struct ExperimentResult {
   }
 };
 
-// Simulates one GCN layer of `workload` under `flow` and verifies the
-// result. a_hat/weights/reference are shared across flows by
-// compare_dataflows to avoid rebuilding them. `obs` (optional)
-// collects metrics and trace events; it never affects timing.
+// Everything one experiment needs, named instead of positional.
+// workload/a_hat/weights/reference are required and shared immutably
+// across flows (and, via the sweep executor's WorkloadCache, across
+// threads) to avoid rebuilding them. `observer` (optional) collects
+// metrics and trace events; it never affects timing. `sort` +
+// `sorted_features` optionally hand the hybrid its degree-sorting
+// preprocessing precomputed (see LayerRunRequest).
+struct ExperimentRequest {
+  const GcnWorkload* workload = nullptr;
+  const CsrMatrix* a_hat = nullptr;
+  const DenseMatrix* weights = nullptr;
+  const DenseMatrix* reference = nullptr;  // golden aggregation output
+  Dataflow flow = Dataflow::kRowWiseProduct;
+  AcceleratorConfig config;
+  Observer* observer = nullptr;
+  const DegreeSortResult* sort = nullptr;
+  const CsrMatrix* sorted_features = nullptr;
+};
+
+// Simulates one GCN layer of the request's workload under its flow
+// and verifies the result against the golden reference.
+ExperimentResult run_experiment(const ExperimentRequest& request);
+
+// Deprecated forwarding overload (kept for one PR while callers
+// migrate to ExperimentRequest; new code should build a request).
 ExperimentResult run_experiment(const GcnWorkload& workload,
                                 const CsrMatrix& a_hat,
                                 const DenseMatrix& weights,

@@ -1,0 +1,121 @@
+// Parallel sweep executor: runs independent (dataset, scale,
+// dataflow, config, seed) simulation cells concurrently and
+// deterministically. A SweepSpec describes the grid, SweepRunner
+// schedules cells onto worker threads (HYMM_THREADS; 1 = the serial
+// path), and results come back in stable grid order with per-cell
+// cycles and counters bit-identical to a serial run regardless of
+// thread count — each cell simulates on private state, sharing only
+// the immutable PreparedWorkload from the WorkloadCache.
+//
+// Observability: observers are never shared across threads. Cells
+// mapping to the same group key share one Observer and run serially
+// in grid order on one worker (e.g. one trace file per dataset); by
+// default every cell is its own group, giving full parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/runner.hpp"
+#include "obs/observer.hpp"
+#include "sweep/workload_cache.hpp"
+
+namespace hymm {
+
+// One point of the grid. `index` is the cell's position in stable
+// grid order (dataset-major, then config, then flow).
+struct SweepCell {
+  std::size_t index = 0;
+  DatasetSpec spec;                  // pre-scaling registry spec
+  double scale = 1.0;                // effective scale
+  std::uint64_t seed = 42;
+  std::size_t config_index = 0;      // position in SweepSpec::configs
+  AcceleratorConfig config;
+  Dataflow flow = Dataflow::kRowWiseProduct;
+  // Pre-built workload (set when the spec came from
+  // SweepSpec::workloads); null cells build through the cache.
+  std::shared_ptr<const PreparedWorkload> prepared;
+};
+
+// The grid: datasets x configs x flows at one (scale, seed). The
+// workload axis is either registry specs (built and cached on
+// demand) or pre-built workloads (e.g. loaded from an edge list);
+// when both are given the prepared workloads follow the specs.
+struct SweepSpec {
+  std::vector<DatasetSpec> datasets;
+  std::vector<std::shared_ptr<const PreparedWorkload>> workloads;
+  std::vector<AcceleratorConfig> configs = {AcceleratorConfig{}};
+  std::vector<Dataflow> flows = {Dataflow::kOuterProduct,
+                                 Dataflow::kRowWiseProduct,
+                                 Dataflow::kHybrid};
+  // Scale applied to every dataset; nullopt selects each dataset's
+  // default_scale. Ignored for pre-built workloads.
+  std::optional<double> scale;
+  std::uint64_t seed = 42;
+
+  // Expands the grid in stable order (dataset-major, config, flow).
+  std::vector<SweepCell> cells() const;
+};
+
+struct SweepCellResult {
+  SweepCell cell;
+  DatasetSpec scaled_spec;  // post-scaling spec (workload.spec)
+  ExperimentResult result;
+};
+
+// Cells that shared one Observer (ran serially on one worker), in
+// grid order of their first cell. `observer` is null unless
+// SweepOptions::observe was set.
+struct SweepGroup {
+  std::string key;
+  std::vector<std::size_t> cells;  // indices into SweepRun::cells
+  std::shared_ptr<Observer> observer;
+};
+
+struct SweepRun {
+  std::vector<SweepCellResult> cells;  // stable grid order
+  std::vector<SweepGroup> groups;
+};
+
+struct SweepOptions {
+  // Worker threads. 0 = auto: HYMM_THREADS when set (validated;
+  // UsageError on garbage), else std::thread::hardware_concurrency.
+  // 1 runs everything on the calling thread (today's serial path).
+  unsigned threads = 0;
+  // Create one Observer per group (metrics + optional trace).
+  bool observe = false;
+  ObserverOptions observer_options;
+  // Maps a cell to its observer/serialization group; cells with equal
+  // keys run serially in grid order sharing one Observer. Default:
+  // every cell is its own group.
+  std::function<std::string(const SweepCell&)> group_key;
+  // Called (under a lock, from worker threads, in completion order)
+  // when a group starts simulating — progress reporting.
+  std::function<void(const SweepCell& first_cell)> on_group_start;
+};
+
+// Resolves a requested thread count: 0 = HYMM_THREADS env (strictly
+// validated) falling back to hardware_concurrency; always >= 1.
+unsigned resolve_thread_count(unsigned requested);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  // Runs every cell of the grid; returns when all cells finished.
+  // Worker exceptions are rethrown on the calling thread.
+  SweepRun run(const SweepSpec& spec);
+
+  WorkloadCache& cache() { return cache_; }
+
+ private:
+  SweepOptions options_;
+  WorkloadCache cache_;
+};
+
+}  // namespace hymm

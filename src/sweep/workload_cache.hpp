@@ -1,0 +1,92 @@
+// Shared, immutable workload state for sweeps. Every (spec, scale,
+// seed) cell of a sweep needs the same synthetic workload, normalized
+// adjacency, weight matrix, golden reference and (for the hybrid)
+// degree sort — building them once and sharing them read-only across
+// worker threads is what makes a dataset x dataflow x config grid
+// cheap. See DESIGN.md "Sweep executor".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/datasets.hpp"
+#include "graph/degree_sort.hpp"
+#include "linalg/gcn.hpp"
+
+namespace hymm {
+
+// One fully-built workload, immutable after construction (the lazy
+// degree sort is internally synchronized). Always held by shared_ptr
+// so concurrent sweep cells can alias it safely.
+class PreparedWorkload {
+ public:
+  // Builds the synthetic workload for a registry spec.
+  PreparedWorkload(const DatasetSpec& spec, double scale,
+                   std::uint64_t seed);
+  // Wraps an externally-built workload (e.g. loaded from an edge
+  // list); computes a_hat, weights and the golden reference from it.
+  PreparedWorkload(GcnWorkload workload, std::uint64_t seed);
+
+  PreparedWorkload(const PreparedWorkload&) = delete;
+  PreparedWorkload& operator=(const PreparedWorkload&) = delete;
+
+  const GcnWorkload& workload() const { return workload_; }
+  const CsrMatrix& a_hat() const { return a_hat_; }
+  const DenseMatrix& weights() const { return weights_; }
+  // Golden pre-activation layer output (the verification reference).
+  const DenseMatrix& reference() const { return golden_.aggregation; }
+  const GcnLayerResult& golden() const { return golden_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // The hybrid's degree-sorting preprocessing, built on first use
+  // (homogeneous-only sweeps never pay for it) and thread-safe:
+  // concurrent callers block until the single build finishes.
+  const DegreeSortResult& sort() const;
+  const CsrMatrix& sorted_features() const;
+
+ private:
+  void ensure_sorted() const;
+
+  GcnWorkload workload_;
+  std::uint64_t seed_ = 0;
+  CsrMatrix a_hat_;
+  DenseMatrix weights_;
+  GcnLayerResult golden_;
+
+  mutable std::once_flag sort_once_;
+  mutable DegreeSortResult sort_;
+  mutable CsrMatrix sorted_features_;
+};
+
+// Thread-safe cache of PreparedWorkloads keyed on (spec, scale,
+// seed): concurrent get() calls for the same key block on one build
+// (never duplicate it) and share the result immutably.
+class WorkloadCache {
+ public:
+  std::shared_ptr<const PreparedWorkload> get(const DatasetSpec& spec,
+                                              double scale,
+                                              std::uint64_t seed);
+
+  // Number of workloads actually built (for tests: stays 1 per key no
+  // matter how many threads ask).
+  std::size_t build_count() const { return builds_.load(); }
+
+  static std::string key_of(const DatasetSpec& spec, double scale,
+                            std::uint64_t seed);
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const PreparedWorkload> value;
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::size_t> builds_{0};
+};
+
+}  // namespace hymm

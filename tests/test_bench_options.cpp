@@ -1,0 +1,157 @@
+// BenchOptions parsing: the shared bench knobs must fail fast with a
+// UsageError naming the bad value (no silent fallback to all datasets
+// or the default scale), flags must win over the environment, and
+// unowned flags must pass through for the caller.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sweep/bench_options.hpp"
+
+namespace hymm {
+namespace {
+
+// Fake environment backed by a map; missing names return nullptr like
+// ::getenv.
+class FakeEnv {
+ public:
+  explicit FakeEnv(std::map<std::string, std::string> vars)
+      : vars_(std::move(vars)) {}
+
+  BenchOptions::EnvGetter getter() const {
+    return [this](const char* name) -> const char* {
+      const auto it = vars_.find(name);
+      return it == vars_.end() ? nullptr : it->second.c_str();
+    };
+  }
+
+ private:
+  std::map<std::string, std::string> vars_;
+};
+
+BenchOptions parse(std::vector<std::string> args,
+                   std::map<std::string, std::string> env = {},
+                   std::vector<std::string>* unrecognized = nullptr) {
+  const FakeEnv fake(std::move(env));
+  return BenchOptions::parse(args, fake.getter(), unrecognized);
+}
+
+std::string error_of(std::vector<std::string> args,
+                     std::map<std::string, std::string> env = {}) {
+  try {
+    parse(std::move(args), std::move(env));
+  } catch (const UsageError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(BenchOptionsTest, DefaultsToAllPaperDatasets) {
+  const BenchOptions opts = parse({});
+  EXPECT_EQ(opts.datasets.size(), paper_datasets().size());
+  EXPECT_FALSE(opts.datasets_explicit);
+  EXPECT_FALSE(opts.scale.has_value());
+  EXPECT_FALSE(opts.full_datasets);
+  EXPECT_EQ(opts.threads, 0u);
+  EXPECT_EQ(opts.seed, 42u);
+}
+
+TEST(BenchOptionsTest, EnvDatasetSelection) {
+  const BenchOptions opts = parse({}, {{"HYMM_DATASETS", "CR,AP"}});
+  ASSERT_EQ(opts.datasets.size(), 2u);
+  EXPECT_EQ(opts.datasets[0].abbrev, "CR");
+  EXPECT_EQ(opts.datasets[1].abbrev, "AP");
+  EXPECT_TRUE(opts.datasets_explicit);
+}
+
+// The historical bug: unknown tokens used to silently fall back to
+// all seven datasets. They must fail fast naming the token.
+TEST(BenchOptionsTest, UnknownDatasetTokenFailsFast) {
+  const std::string err = error_of({}, {{"HYMM_DATASETS", "CR,bogus"}});
+  EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+  EXPECT_NE(err.find("HYMM_DATASETS"), std::string::npos) << err;
+
+  const std::string flag_err = error_of({"--datasets", "nope"});
+  EXPECT_NE(flag_err.find("nope"), std::string::npos) << flag_err;
+  EXPECT_NE(flag_err.find("--datasets"), std::string::npos) << flag_err;
+}
+
+// The historical bug: HYMM_SCALE was parsed with atof, so
+// HYMM_SCALE=fast silently meant "default scale".
+TEST(BenchOptionsTest, MalformedScaleFailsFast) {
+  const std::string err = error_of({}, {{"HYMM_SCALE", "fast"}});
+  EXPECT_NE(err.find("fast"), std::string::npos) << err;
+  EXPECT_NE(err.find("HYMM_SCALE"), std::string::npos) << err;
+
+  EXPECT_NE(error_of({"--scale", "0"}), "");    // zero rejected
+  EXPECT_NE(error_of({"--scale", "1.5"}), "");  // above 1 rejected
+  EXPECT_EQ(*parse({"--scale", "0.25"}).scale, 0.25);
+}
+
+TEST(BenchOptionsTest, MalformedThreadsFailsFast) {
+  const std::string err = error_of({}, {{"HYMM_THREADS", "many"}});
+  EXPECT_NE(err.find("many"), std::string::npos) << err;
+  EXPECT_NE(err.find("HYMM_THREADS"), std::string::npos) << err;
+  EXPECT_NE(error_of({"--threads", "-2"}), "");
+  EXPECT_EQ(parse({"--threads", "8"}).threads, 8u);
+}
+
+TEST(BenchOptionsTest, FlagsWinOverEnvironment) {
+  const BenchOptions opts =
+      parse({"--datasets=AC", "--scale=0.5", "--threads=2"},
+            {{"HYMM_DATASETS", "CR,AP"},
+             {"HYMM_SCALE", "0.1"},
+             {"HYMM_THREADS", "7"}});
+  ASSERT_EQ(opts.datasets.size(), 1u);
+  EXPECT_EQ(opts.datasets[0].abbrev, "AC");
+  EXPECT_EQ(*opts.scale, 0.5);
+  EXPECT_EQ(opts.threads, 2u);
+}
+
+TEST(BenchOptionsTest, ScaleForPrecedence) {
+  const DatasetSpec fr = *find_dataset("FR");  // scaled by default
+
+  BenchOptions defaults = parse({});
+  EXPECT_EQ(defaults.scale_for(fr), default_scale(fr));
+
+  const BenchOptions full = parse({"--full-datasets"});
+  EXPECT_TRUE(full.full_datasets);
+  EXPECT_EQ(full.scale_for(fr), 1.0);
+
+  // An explicit scale overrides --full-datasets.
+  const BenchOptions both = parse({"--full-datasets", "--scale", "0.3"});
+  EXPECT_EQ(both.scale_for(fr), 0.3);
+}
+
+TEST(BenchOptionsTest, TraceAndJsonDirs) {
+  const BenchOptions opts = parse({"--trace-dir", "/tmp/t"},
+                                  {{"HYMM_JSON_DIR", "/tmp/j"}});
+  EXPECT_EQ(opts.trace_dir, "/tmp/t");
+  EXPECT_EQ(opts.json_dir, "/tmp/j");
+  EXPECT_TRUE(opts.observing());
+  EXPECT_FALSE(parse({}).observing());
+}
+
+TEST(BenchOptionsTest, UnrecognizedFlagsPassThrough) {
+  std::vector<std::string> rest;
+  const BenchOptions opts =
+      parse({"--out", "file.json", "--seed=9", "--rev", "abc"}, {}, &rest);
+  EXPECT_EQ(opts.seed, 9u);
+  EXPECT_EQ(rest,
+            (std::vector<std::string>{"--out", "file.json", "--rev", "abc"}));
+}
+
+TEST(BenchOptionsTest, UnknownFlagIsErrorWithoutPassthrough) {
+  const std::string err = error_of({"--frobnicate"});
+  EXPECT_NE(err.find("--frobnicate"), std::string::npos) << err;
+}
+
+TEST(BenchOptionsTest, MissingValueIsError) {
+  EXPECT_NE(error_of({"--datasets"}), "");
+  EXPECT_NE(error_of({"--scale="}), "");
+}
+
+}  // namespace
+}  // namespace hymm

@@ -60,6 +60,11 @@ int main(int argc, char** argv) {
       w.field("scale", r.scale);
       w.field("flow", to_string(r.flow));
       w.field("cycles", std::uint64_t{r.cycles});
+      // Host wall-clock of the simulation (machine-dependent evidence
+      // for hot-loop optimizations; perf_compare ignores it) and the
+      // cycles covered by the event-driven fast-forward.
+      w.field("sim_wall_ms", r.sim_wall_ms);
+      w.field("skipped_cycles", std::uint64_t{r.stats.skipped_cycles});
       w.field("dram_total_bytes", r.dram_total_bytes);
       w.key("stalls");
       w.begin_object();

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Profile the simulator hot loop with gprofng (binutils' profiler;
+# `perf` is often unavailable in containers, gprofng needs no kernel
+# support). Collects a CPU-time experiment over the perf-gate sweep
+# and prints the flat function profile plus the hottest callers.
+#
+# Usage:
+#     scripts/profile_hotloop.sh [BINARY [ARGS...]]
+#
+# Defaults to the perf-gate configuration — serial, CR+CS, the same
+# cells the wall-clock criterion is measured on:
+#     HYMM_DATASETS=CR,CS HYMM_THREADS=1 build/bench/perf_regression \
+#         --rev profile --out /tmp/hymm_profile
+#
+# Knobs:
+#     HYMM_PROFILE_DIR   experiment directory (default: a fresh
+#                        /tmp/hymm_hotloop.<pid>.er; gprofng refuses
+#                        to overwrite an existing experiment)
+#     HYMM_NO_FASTFWD=1  profile the legacy per-cycle loop instead —
+#                        useful to see what the fast-forward removed
+#
+# Reading the output: sort by exclusive CPU time. The known hot spots
+# and their fixes are catalogued in DESIGN.md 5f — before the PR that
+# added it, LoadStoreQueue::tick's retry loop plus
+# DenseMatrixBuffer::read's directory probes dominated RWP/HyMM cells
+# at ~20x the OP engine's per-cycle cost. Note gprofng's totals
+# undersample short runs; treat the *distribution* as meaningful, not
+# the absolute seconds.
+
+set -eu
+
+if ! command -v gprofng >/dev/null 2>&1; then
+    echo "profile_hotloop.sh: gprofng not found (binutils >= 2.39)" >&2
+    exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+    : # explicit binary + args given
+elif [ -x build/bench/perf_regression ]; then
+    HYMM_DATASETS="${HYMM_DATASETS:-CR,CS}"
+    HYMM_THREADS="${HYMM_THREADS:-1}"
+    export HYMM_DATASETS HYMM_THREADS
+    set -- build/bench/perf_regression --rev profile --out /tmp/hymm_profile
+else
+    echo "profile_hotloop.sh: build/bench/perf_regression missing;" \
+         "build first (cmake --build build) or pass a binary" >&2
+    exit 2
+fi
+
+experiment="${HYMM_PROFILE_DIR:-/tmp/hymm_hotloop.$$.er}"
+rm -rf "$experiment"
+
+echo "== collecting: $* -> $experiment" >&2
+gprofng collect app -o "$experiment" "$@"
+
+echo "== flat profile (exclusive CPU time)"
+gprofng display text -functions "$experiment"
+
+echo "== callers/callees of the top frame"
+top_frame=$(gprofng display text -functions "$experiment" |
+    awk 'NR > 5 && $1 ~ /^[0-9]/ { for (i = 5; i <= NF; i++) printf "%s%s", $i, (i < NF ? " " : "\n"); exit }')
+if [ -n "${top_frame:-}" ]; then
+    gprofng display text -callers-callees "$experiment" | head -60
+fi
+
+echo "experiment kept at $experiment (rerun views with:" \
+     "gprofng display text -functions $experiment)" >&2

@@ -1,0 +1,190 @@
+// Open-addressing hash map for the simulator's per-cycle hot paths
+// (DMB line/MSHR directories, LSQ entry tables). The per-tick retry
+// loops perform several membership probes per in-flight load, and
+// std::unordered_map's prime-modulo bucketing plus node indirection
+// dominated the profile there. This map uses 64-bit keys, a mixed
+// power-of-two index, linear probing and backward-shift deletion, so
+// a probe is one or two contiguous cache lines.
+//
+// Scope is deliberately narrow:
+//  - keys are std::uint64_t (Addr, LoadStoreQueue::EntryId),
+//  - Value must be default-constructible and move-assignable,
+//  - find() returns Value* (nullptr when absent), not an iterator,
+//  - no insertion/erasure inside for_each (collect keys, then erase).
+//
+// Iteration order is unspecified and differs from unordered_map; the
+// simulator only iterates these tables for order-independent
+// aggregation (flush/unpin writeback counters), which
+// tests/test_fastforward.cpp's bit-identity sweep double-checks.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+template <typename Value>
+class FlatMap {
+ public:
+  explicit FlatMap(std::size_t expected = 0) { rehash(table_size_for(expected)); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(std::size_t expected) {
+    const std::size_t want = table_size_for(expected);
+    if (want > slots_.size()) rehash(want);
+  }
+
+  Value* find(std::uint64_t key) {
+    std::size_t i = home_of(key);
+    while (used_[i]) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = next(i);
+    }
+    return nullptr;
+  }
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  Value& at(std::uint64_t key) {
+    Value* v = find(key);
+    HYMM_DCHECK(v != nullptr);
+    return *v;
+  }
+
+  // Inserts key -> value; overwrites an existing mapping.
+  Value& emplace(std::uint64_t key, Value value) {
+    maybe_grow();
+    std::size_t i = home_of(key);
+    while (used_[i]) {
+      if (slots_[i].key == key) {
+        slots_[i].value = std::move(value);
+        return slots_[i].value;
+      }
+      i = next(i);
+    }
+    used_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return slots_[i].value;
+  }
+
+  // Default-constructs the mapping when absent (counter-map idiom).
+  Value& operator[](std::uint64_t key) {
+    if (Value* v = find(key)) return *v;
+    return emplace(key, Value{});
+  }
+
+  // Returns true when the key was present. Backward-shift deletion
+  // keeps probe chains contiguous without tombstones.
+  bool erase(std::uint64_t key) {
+    std::size_t i = home_of(key);
+    while (used_[i]) {
+      if (slots_[i].key == key) {
+        erase_slot(i);
+        return true;
+      }
+      i = next(i);
+    }
+    return false;
+  }
+
+  void clear() {
+    if (size_ == 0) return;
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  // Visits every entry as f(key, Value&). The callback must not
+  // insert into or erase from this map.
+  template <typename F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) f(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+  };
+
+  static std::size_t table_size_for(std::size_t expected) {
+    // Keep the load factor under ~0.5 at the expected population.
+    std::size_t n = 16;
+    while (n < expected * 2) n *= 2;
+    return n;
+  }
+
+  std::size_t home_of(std::uint64_t k) const {
+    // splitmix64 finalizer: full avalanche so line addresses (low
+    // bits all zero) spread across the table.
+    k ^= k >> 30;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 27;
+    k *= 0x94d049bb133111ebULL;
+    k ^= k >> 31;
+    return static_cast<std::size_t>(k) & mask_;
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & mask_; }
+
+  void maybe_grow() {
+    if ((size_ + 1) * 2 > slots_.size()) rehash(slots_.size() * 2);
+  }
+
+  void rehash(std::size_t new_size) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_size, Slot{});
+    used_.assign(new_size, 0);
+    mask_ = new_size - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i]) emplace(old_slots[i].key, std::move(old_slots[i].value));
+    }
+  }
+
+  void erase_slot(std::size_t hole) {
+    std::size_t i = hole;  // current hole position
+    std::size_t j = hole;  // scan cursor
+    while (true) {
+      j = next(j);
+      if (!used_[j]) break;
+      // Shift j back into the hole unless its home slot lies
+      // cyclically in (i, j] — then the move would park it before
+      // its probe chain and lookups would miss it.
+      const std::size_t home = home_of(slots_[j].key);
+      const bool home_in_gap = ((j - home) & mask_) < ((j - i) & mask_);
+      if (!home_in_gap) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    used_[i] = 0;
+    slots_[i].value = Value{};
+    --size_;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hymm

@@ -26,4 +26,8 @@ using Value = float;
 inline constexpr std::size_t kLineBytes = 64;  // DMB / DRAM transfer unit
 inline constexpr std::size_t kLaneCount = 16;  // floats per 64-byte line
 
+// Sentinel returned by the components' next_event() horizon when no
+// future cycle is scheduled to change their observable state.
+inline constexpr Cycle kNoEvent = ~Cycle{0};
+
 }  // namespace hymm

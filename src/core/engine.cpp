@@ -1,8 +1,44 @@
 #include "core/engine.hpp"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "common/check.hpp"
 
 namespace hymm {
+
+namespace {
+
+bool env_flag_set(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+FastForwardMode mode_from_env() {
+  if (env_flag_set("HYMM_NO_FASTFWD")) return FastForwardMode::kOff;
+  if (env_flag_set("HYMM_FASTFWD_CHECK")) return FastForwardMode::kCheck;
+  return FastForwardMode::kOn;
+}
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_fast_forward_mode{-1};
+
+}  // namespace
+
+FastForwardMode fast_forward_mode() {
+  int mode = g_fast_forward_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = static_cast<int>(mode_from_env());
+    g_fast_forward_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<FastForwardMode>(mode);
+}
+
+void set_fast_forward_mode(FastForwardMode mode) {
+  g_fast_forward_mode.store(static_cast<int>(mode),
+                            std::memory_order_relaxed);
+}
 
 MemorySystem::MemorySystem(const AcceleratorConfig& config)
     : config_(config),
@@ -51,9 +87,44 @@ void MemorySystem::sample_observer() {
 #endif
 }
 
+void MemorySystem::fast_forward_to(Cycle target, StallCause cause) {
+  HYMM_DCHECK(target > now_ + 1);
+  const Cycle span = target - now_ - 1;
+  stats_.account(cause, span);
+  stats_.skipped_cycles += span;
+  // Replay the footprint samples cycles now_+1 .. target-1 would have
+  // taken. Under per-cycle ticking a sample lands exactly at
+  // timeline_next_sample (which is > now_ here: tick_components
+  // already sampled the current cycle if it was due), so replaying at
+  // those cycles with the constant footprint is bit-identical —
+  // including the capacity thinning / interval doubling inside.
+  while (stats_.timeline_next_sample <= target - 1) {
+    stats_.maybe_sample_timeline(stats_.timeline_next_sample);
+  }
+#ifndef HYMM_OBS_DISABLED
+  // One aggregated counter sample stands in for the per-cycle ones
+  // the span would have emitted; the schedule then realigns to where
+  // the per-cycle loop would have left it.
+  if (obs_ != nullptr && obs_next_sample_ <= target - 1) {
+    obs_->sample_tracks(obs_next_sample_, dmb_.resident_lines(),
+                        stats_.partial_bytes_now,
+                        lsq_.pending_loads() + lsq_.pending_stores(),
+                        smq_.backlog(), stats_.stall_cycles);
+    const Cycle interval = obs_->sample_interval();
+    obs_next_sample_ +=
+        interval * ((target - 1 - obs_next_sample_) / interval + 1);
+  }
+#endif
+  now_ = target;
+}
+
 Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
   const Cycle start = ms.now();
-  const Cycle stalls_before = ms.stats().stall_total();
+  [[maybe_unused]] const Cycle stalls_before = ms.stats().stall_total();
+  const FastForwardMode mode = fast_forward_mode();
+  // kCheck: end and cause of the span the fast path would skip.
+  Cycle check_until = 0;
+  [[maybe_unused]] StallCause check_cause = StallCause::kDrain;
   while (!engine.done(ms) || !ms.lsq().all_stores_drained() ||
          ms.dmb().has_pending_misses()) {
     HYMM_CHECK_MSG(ms.now() - start < max_cycles,
@@ -62,6 +133,39 @@ Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
     ms.tick_components();
     engine.tick(ms);
     ms.stats().account(engine.cycle_cause());
+    if (mode == FastForwardMode::kOn) {
+      if (engine.quiescent() && ms.components_quiescent()) {
+        // Nothing changed this cycle and nothing can change before
+        // the earliest event: jump there. Capping at the deadlock
+        // horizon keeps a stuck engine (no events at all) tripping
+        // the max_cycles check exactly like the legacy loop.
+        const Cycle target =
+            std::min(std::min(ms.next_component_event(),
+                              engine.next_event(ms.now())),
+                     start + max_cycles);
+        if (target > ms.now() + 1) {
+          ms.fast_forward_to(target, engine.cycle_cause());
+          continue;  // the clock already sits on the event cycle
+        }
+      }
+    } else if (mode == FastForwardMode::kCheck) {
+      if (ms.now() < check_until) {
+        // Inside a span the fast path would have skipped: prove it
+        // dead — still quiescent, still charged to the same bucket.
+        HYMM_DCHECK(engine.quiescent());
+        HYMM_DCHECK(ms.components_quiescent());
+        HYMM_DCHECK(engine.cycle_cause() == check_cause);
+      } else if (engine.quiescent() && ms.components_quiescent()) {
+        const Cycle target =
+            std::min(std::min(ms.next_component_event(),
+                              engine.next_event(ms.now())),
+                     start + max_cycles);
+        if (target > ms.now() + 1) {
+          check_until = target;
+          check_cause = engine.cycle_cause();
+        }
+      }
+    }
     ms.advance();
   }
   // Account trailing DRAM writes still in the bandwidth pipe.

@@ -2,6 +2,7 @@
 // against, and the cycle loop that advances a phase to completion.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "common/config.hpp"
@@ -15,6 +16,21 @@
 #include "sim/stats.hpp"
 
 namespace hymm {
+
+// Event-driven fast-forward (see DESIGN.md section 5f). kOn skips
+// provably dead stall spans in run_phase; kOff keeps the legacy
+// cycle-by-cycle loop; kCheck runs the legacy loop but DCHECKs every
+// skip the fast path would have taken (span stays quiescent, cause
+// stays constant) — legacy-exact results plus soundness validation.
+enum class FastForwardMode { kOff, kOn, kCheck };
+
+// Process-wide mode. Initialized lazily from the environment:
+// HYMM_NO_FASTFWD=1 selects kOff (and wins over everything),
+// HYMM_FASTFWD_CHECK=1 selects kCheck, default is kOn.
+FastForwardMode fast_forward_mode();
+
+// Test override; pass-through to subsequent fast_forward_mode() calls.
+void set_fast_forward_mode(FastForwardMode mode);
 
 // All hardware component models of one accelerator instance. The
 // bundle persists across phases of a layer so the unified buffer and
@@ -49,6 +65,29 @@ class MemorySystem {
   // Delivers completions / retries / drains for the current cycle.
   // The phase loop calls this before the engine's tick.
   void tick_components();
+
+  // True when none of the component ticks at the current cycle made
+  // an observable state change — together with an engine that made no
+  // progress, the precondition for fast-forwarding.
+  bool components_quiescent() const {
+    return !dram_.ticked_active() && !dmb_.ticked_active() &&
+           !lsq_.ticked_active() && !smq_.ticked_active();
+  }
+
+  // Earliest future cycle at which any component changes state on its
+  // own (kNoEvent when nothing is scheduled).
+  Cycle next_component_event() const {
+    return std::min(std::min(dram_.next_event(now_), dmb_.next_event(now_)),
+                    std::min(lsq_.next_event(now_), smq_.next_event(now_)));
+  }
+
+  // Jumps the clock from just after the current (already accounted)
+  // cycle straight to `target`, bulk-charging the skipped span to
+  // `cause`, replaying the periodic footprint samples the span would
+  // have taken (the footprint is constant across a quiescent span)
+  // and emitting one aggregated observer sample in place of the
+  // per-cycle ones. Preserves sum(stall buckets) == cycles.
+  void fast_forward_to(Cycle target, StallCause cause);
 
   // Forces a counter-track sample right now (end of a phase, so the
   // final cumulative stall buckets reach the gauges and the trace).
@@ -88,6 +127,23 @@ class Engine {
   // phase loop records exactly one cause per cycle, so per-phase
   // bucket sums equal per-phase cycle counts by construction.
   virtual StallCause cycle_cause() const = 0;
+
+  // Fast-forward contract (DESIGN.md section 5f). quiescent() is true
+  // when the tick that just ran made zero observable state changes
+  // AND the next tick is guaranteed to repeat that outcome until a
+  // component event or engine event arrives. Engines must return
+  // false whenever they are blocked on a predicate that flips with
+  // bare time (e.g. PeArray::can_issue). The default keeps unported
+  // engines on the legacy cycle-by-cycle path.
+  virtual bool quiescent() const { return false; }
+
+  // Earliest future cycle at which the engine's own timers fire
+  // (kNoEvent when it has none); component events are tracked by the
+  // MemorySystem separately.
+  virtual Cycle next_event(Cycle now) const {
+    (void)now;
+    return kNoEvent;
+  }
 };
 
 // Maps a blocked load's wait state to the stall bucket it charges.
@@ -110,6 +166,12 @@ inline StallCause stall_cause_for(LoadStoreQueue::LoadWait wait) {
 // Runs `engine` until done (plus store/DRAM drain). Throws CheckError
 // when max_cycles elapse first — a hung engine is a bug, not a slow
 // workload. Returns the cycles consumed by this phase.
+//
+// Under FastForwardMode::kOn, whole stall spans where the engine and
+// every component are quiescent are jumped in one step; cycle counts,
+// stall vectors and DRAM byte counters are bit-identical to the
+// legacy loop (enforced by tests/test_fastforward.cpp and the
+// HYMM_FASTFWD_CHECK CI leg).
 Cycle run_phase(MemorySystem& ms, Engine& engine,
                 Cycle max_cycles = 2'000'000'000);
 

@@ -35,6 +35,7 @@ OpEngine::OpEngine(MemorySystem& ms, const OpEngineParams& params)
   chunks_ = lines_per_row(params_.b->cols());
   HYMM_CHECK_MSG(params_.window >= chunks_,
                  "engine window smaller than one dense row");
+  staged_.reserve(chunks_);
 
   // Count distinct output rows (needed for the flush stage).
   std::vector<bool> touched(params_.sparse->rows(), false);
@@ -52,11 +53,13 @@ bool OpEngine::done(const MemorySystem& ms) const {
 }
 
 void OpEngine::tick(MemorySystem& ms) {
+  progressed_ = false;
   switch (stage_) {
     case Stage::kStream:
       tick_stream(ms);
       break;
     case Stage::kMergeSetup: {
+      progressed_ = true;  // the stage transition below is observable
       cause_ = StallCause::kMergeRmw;
       if (params_.accumulate_in_buffer) {
         records_to_merge_ =
@@ -129,6 +132,7 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     if (ms.lsq().store(stalled_store_line_, TrafficClass::kPartial,
                        StoreKind::kAccumulate, ms.now())) {
       store_stalled_ = false;
+      progressed_ = true;
     } else {
       may_retire = false;
       attributed = StallCause::kAccumulatorConflict;
@@ -149,6 +153,8 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     } else if (!sink_ready) {
       attributed = StallCause::kDramBandwidth;
     } else if (!ms.pe().can_issue(ms.now())) {
+      // Time-flipping predicate: never quiescent while PE-blocked.
+      progressed_ = true;
       attributed = StallCause::kAccumulatorConflict;
     } else if (ms.lsq().free_entries() == 0) {
       attributed = StallCause::kLsqFull;
@@ -156,6 +162,7 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     if (stationary_ready && sink_ready && ms.pe().can_issue(ms.now()) &&
         ms.lsq().free_entries() > 0) {
       attributed = StallCause::kCompute;
+      progressed_ = true;
       const NodeId out_row = head.row + params_.row_offset;
       ms.pe().mac(head.value, b_lanes(head.col, head.chunk),
                   c_lanes(out_row, head.chunk), ms.now());
@@ -187,8 +194,7 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     const SmqEntry& entry = ms.smq().front();
     const Addr base = params_.b_region.line_of(entry.outer, chunks_);
     bool ok = true;
-    std::vector<Pending> staged;
-    staged.reserve(chunks_);
+    staged_.clear();
     for (std::size_t chunk = 0; chunk < chunks_ && ok; ++chunk) {
       Pending p;
       p.col = entry.outer;
@@ -205,14 +211,15 @@ void OpEngine::tick_stream(MemorySystem& ms) {
         p.has_load = true;
         p.load_id = *load_id;
       }
-      staged.push_back(p);
+      staged_.push_back(p);
     }
     if (ok) {
-      for (Pending& p : staged) pending_.push_back(p);
+      for (Pending& p : staged_) pending_.push_back(p);
       ms.smq().pop();
+      progressed_ = true;
     } else {
       // Release whatever we allocated and retry next cycle.
-      for (Pending& p : staged) {
+      for (Pending& p : staged_) {
         if (p.has_load) {
           // Entries are not ready yet; drop them by marking consumed.
           // (release_load requires readiness, so we simply leave them;
@@ -231,6 +238,7 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     ++scanned;
     if (params_.sparse->col_nnz(pf_col_) == 0) {
       ++pf_col_;
+      progressed_ = true;
       continue;
     }
     const Addr base = params_.b_region.line_of(pf_col_, chunks_);
@@ -244,12 +252,14 @@ void OpEngine::tick_stream(MemorySystem& ms) {
     }
     ++pf_ahead_;
     ++pf_col_;
+    progressed_ = true;
   }
 
   // --- Stage transition ---
   if (ms.smq().finished() && pending_.empty() && !store_stalled_ &&
       ms.lsq().all_stores_drained()) {
     stage_ = params_.outputs_pinned ? Stage::kDone : Stage::kMergeSetup;
+    progressed_ = true;
   }
 
   // --- Resolve the cycle's cause ---
@@ -322,21 +332,29 @@ void OpEngine::tick_merge(MemorySystem& ms) {
   // cycles blocked on the record stream's first arrival or on channel
   // headroom are charged to the memory system, the rest to the merge.
   if (ms.now() < merge_ready_cycle_) {
+    // Quiescent warm-up wait; next_event() exposes merge_ready_cycle_
+    // so the fast path can jump straight to it.
     cause_ = StallCause::kDramLatency;
     return;
   }
   cause_ = StallCause::kMergeRmw;
   if (merged_records_ >= records_to_merge_) {
     stage_ = Stage::kFlush;
+    progressed_ = true;
     return;
   }
-  if (!ms.pe().can_issue(ms.now())) return;
+  if (!ms.pe().can_issue(ms.now())) {
+    // Time-flipping predicate: never quiescent while PE-blocked.
+    progressed_ = true;
+    return;
+  }
   // Folding may evict a merged row (writeback) and may refetch an
   // earlier partial sum; both need channel headroom.
   if (!ms.dram().can_accept_write(ms.now())) {
     cause_ = StallCause::kDramBandwidth;
     return;
   }
+  progressed_ = true;
 
   if (!params_.accumulate_in_buffer) {
     // Replay the traversal's row order: each record read-modifies the
@@ -381,12 +399,14 @@ void OpEngine::tick_flush(MemorySystem& ms) {
   cause_ = StallCause::kDrain;
   if (flushed_lines_ >= flush_target) {
     stage_ = Stage::kDone;
+    progressed_ = true;
     return;
   }
   if (!ms.dram().can_accept_write(ms.now())) {
     cause_ = StallCause::kDramBandwidth;
     return;
   }
+  progressed_ = true;
   if (params_.accumulate_in_buffer) {
     if (!ms.dmb().writeback_one_partial(params_.c_final_class, ms.now())) {
       ms.dram().issue_write(

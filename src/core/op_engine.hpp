@@ -70,6 +70,14 @@ class OpEngine final : public Engine {
   bool done(const MemorySystem& ms) const override;
   void tick(MemorySystem& ms) override;
   StallCause cycle_cause() const override { return cause_; }
+  bool quiescent() const override { return !progressed_; }
+  // The merge stage's record-stream warm-up is the one engine-owned
+  // timer: nothing happens until merge_ready_cycle_.
+  Cycle next_event(Cycle now) const override {
+    return stage_ == Stage::kMerge && now < merge_ready_cycle_
+               ? merge_ready_cycle_
+               : kNoEvent;
+  }
 
   // Observability for tests and stats reports.
   std::uint64_t spill_records_merged() const { return merged_records_; }
@@ -138,8 +146,15 @@ class OpEngine final : public Engine {
   // Cycle accounting: what this tick was spent on (set every tick).
   StallCause cause_ = StallCause::kDrain;
   std::deque<Pending> pending_;
+  // Issue-slot staging buffer, reused across cycles to avoid a heap
+  // allocation per issued non-zero.
+  std::vector<Pending> staged_;
   bool store_stalled_ = false;
   Addr stalled_store_line_ = 0;
+  // Fast-forward quiescence: set whenever a tick mutates engine or
+  // memory-system state, or blocks on a time-flipping predicate
+  // (PeArray::can_issue) and must therefore re-run next cycle.
+  bool progressed_ = false;
 
   NodeId rows_touched_ = 0;  // rows of c with at least one non-zero
 

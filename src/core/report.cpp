@@ -170,6 +170,9 @@ void write_stats_json(JsonWriter& w, const SimStats& s) {
   }
   w.end_object();
   w.field("stall_total", std::uint64_t{s.stall_total()});
+  // Cycles covered by the event-driven fast-forward (DESIGN.md 5f);
+  // a subset of `cycles`, already included in the stall buckets.
+  w.field("skipped_cycles", std::uint64_t{s.skipped_cycles});
   w.field("bottleneck", to_string(s.bottleneck()));
   w.end_object();
 }
@@ -193,7 +196,7 @@ void write_results_json(std::span<const ExperimentResult> results,
                         const TraceWriter* trace) {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-run-report/2");
+  w.field("schema", "hymm-run-report/3");
   w.key("results");
   w.begin_array();
   for (const ExperimentResult& r : results) {
@@ -206,6 +209,7 @@ void write_results_json(std::span<const ExperimentResult> results,
     w.field("combination_cycles", std::uint64_t{r.combination_cycles});
     w.field("aggregation_cycles", std::uint64_t{r.aggregation_cycles});
     w.field("preprocess_ms", r.preprocess_ms);
+    w.field("sim_wall_ms", r.sim_wall_ms);
     w.field("verified", r.verified);
     w.field("max_abs_err", r.max_abs_err);
     w.field("dram_peak_bytes_per_cycle", r.dram_peak_bytes_per_cycle);
@@ -236,11 +240,18 @@ void write_results_json(std::span<const ExperimentResult> results,
     metrics->write_json(w);
   }
   if (trace != nullptr) {
+    std::uint64_t skipped = 0;
+    for (const ExperimentResult& r : results) {
+      skipped += r.stats.skipped_cycles;
+    }
     w.key("trace");
     w.begin_object();
     w.field("events", static_cast<std::uint64_t>(trace->event_count()));
     w.field("dropped_instants",
             static_cast<std::uint64_t>(trace->dropped_instants()));
+    // Cycle-domain span the trace never saw per-cycle ticks for
+    // (fast-forwarded; schema /3).
+    w.field("skipped_cycles", skipped);
     w.end_object();
   }
   w.end_object();

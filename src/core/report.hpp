@@ -38,7 +38,7 @@ std::string csv_quote(const std::string& field);
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out);
 
-// JSON run report (schema "hymm-run-report/2"): one object per result
+// JSON run report (schema "hymm-run-report/3"): one object per result
 // carrying the full SimStats counter set (whole layer plus the
 // combination/aggregation phase deltas and, for hybrid runs, the
 // per-region breakdown), each with its stall-cycle breakdown and

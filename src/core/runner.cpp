@@ -1,5 +1,7 @@
 #include "core/runner.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
 
 namespace hymm {
@@ -20,9 +22,14 @@ ExperimentResult run_experiment(const ExperimentRequest& request) {
   layer_request.observer = request.observer;
   layer_request.sort = request.sort;
   layer_request.sorted_features = request.sorted_features;
+  const auto sim_begin = std::chrono::steady_clock::now();
   const LayerRunResult layer = accelerator.run_layer(layer_request);
+  const auto sim_end = std::chrono::steady_clock::now();
 
   ExperimentResult r;
+  r.sim_wall_ms =
+      std::chrono::duration<double, std::milli>(sim_end - sim_begin)
+          .count();
   r.dataset = workload.spec.name;
   r.abbrev = workload.spec.abbrev;
   r.scale = workload.scale;

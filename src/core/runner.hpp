@@ -43,6 +43,10 @@ struct ExperimentResult {
   Cycle combination_cycles = 0;
   Cycle aggregation_cycles = 0;
   double preprocess_ms = 0.0;  // Table II sorting cost (hybrid only)
+  // Host wall-clock of the simulation itself (run_layer, excluding
+  // workload build and verification) — the perf-gate artifact's
+  // wall-clock evidence. Machine-dependent; never gated on.
+  double sim_wall_ms = 0.0;
   RegionPartition partition;   // hybrid only
 
   bool verified = false;    // matches the golden model

@@ -32,6 +32,7 @@ bool RwpEngine::done(const MemorySystem& ms) const {
 
 void RwpEngine::tick(MemorySystem& ms) {
   attributed_.reset();
+  progressed_ = false;
   try_retire(ms);
   try_issue(ms);
   resolve_cause(ms);
@@ -97,6 +98,7 @@ void RwpEngine::try_issue(MemorySystem& ms) {
     pending_.push_back(p);
   }
   ms.smq().pop();
+  progressed_ = true;
 }
 
 void RwpEngine::try_retire(MemorySystem& ms) {
@@ -109,11 +111,15 @@ void RwpEngine::try_retire(MemorySystem& ms) {
       return;
     }
     pending_stores_.pop_front();
+    progressed_ = true;
   }
   if (pending_.empty()) return;
   Pending& head = pending_.front();
   if (!ms.lsq().is_ready(head.load_id)) return;
   if (!ms.pe().can_issue(ms.now())) {
+    // can_issue flips with bare time: the very next cycle can retire,
+    // so this cycle is never quiescent.
+    progressed_ = true;
     attributed_ = StallCause::kAccumulatorConflict;
     return;
   }
@@ -123,6 +129,7 @@ void RwpEngine::try_retire(MemorySystem& ms) {
               c_lanes(out_row, head.chunk), ms.now());
   ms.lsq().release_load(head.load_id);
   ++retired_;
+  progressed_ = true;
   attributed_ = StallCause::kCompute;
   if (head.col < params_.region2_col_boundary) {
     ++region2_macs_;

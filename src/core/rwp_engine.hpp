@@ -57,6 +57,7 @@ class RwpEngine final : public Engine {
   bool done(const MemorySystem& ms) const override;
   void tick(MemorySystem& ms) override;
   StallCause cycle_cause() const override { return cause_; }
+  bool quiescent() const override { return !progressed_; }
 
   // Exact MAC counts on each side of region2_col_boundary (per-region
   // attribution of the hybrid's shared RWP phase).
@@ -94,6 +95,10 @@ class RwpEngine final : public Engine {
   // cycle's fate, resolved from queue state otherwise.
   std::optional<StallCause> attributed_;
   StallCause cause_ = StallCause::kDrain;
+  // Fast-forward quiescence: set whenever a tick mutates engine or
+  // memory-system state, or blocks on a time-flipping predicate
+  // (PeArray::can_issue) and must therefore re-run next cycle.
+  bool progressed_ = false;
 };
 
 }  // namespace hymm

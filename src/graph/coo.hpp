@@ -27,6 +27,10 @@ class CooMatrix {
 
   const std::vector<Triplet>& entries() const { return entries_; }
 
+  // Pre-sizes the entry list for a known nnz (the generators and
+  // converters know theirs up front).
+  void reserve(EdgeCount nnz) { entries_.reserve(nnz); }
+
   // Appends one entry; indices are bounds-checked.
   void add(NodeId row, NodeId col, Value value);
 

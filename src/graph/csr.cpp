@@ -68,6 +68,7 @@ std::vector<EdgeCount> CsrMatrix::column_nnz() const {
 
 CooMatrix CsrMatrix::to_coo() const {
   CooMatrix coo(rows_, cols_);
+  coo.reserve(nnz());
   for (NodeId r = 0; r < rows_; ++r) {
     const auto cols = row_cols(r);
     const auto vals = row_values(r);
@@ -129,28 +130,59 @@ CsrMatrix CsrMatrix::submatrix(NodeId row_begin, NodeId row_end,
 CsrMatrix CsrMatrix::permute_symmetric(std::span<const NodeId> perm) const {
   HYMM_CHECK_MSG(rows_ == cols_, "symmetric permutation needs a square matrix");
   HYMM_CHECK(perm.size() == rows_);
-  CooMatrix coo(rows_, cols_);
+  // Single pass instead of a COO round trip: output row perm[r] is
+  // exactly input row r with relabelled columns, so only a per-row
+  // column sort is needed (perm is a bijection and the input is
+  // canonical — no duplicates can arise, and no values are merged, so
+  // the result is bit-identical to the COO path).
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  for (NodeId r = 0; r < rows_; ++r) m.row_ptr_[perm[r] + 1] = row_nnz(r);
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  m.col_idx_.resize(col_idx_.size());
+  m.values_.resize(values_.size());
+  std::vector<std::pair<NodeId, Value>> scratch;
   for (NodeId r = 0; r < rows_; ++r) {
     const auto cols = row_cols(r);
     const auto vals = row_values(r);
+    scratch.clear();
+    scratch.reserve(cols.size());
     for (std::size_t k = 0; k < cols.size(); ++k) {
-      coo.add(perm[r], perm[cols[k]], vals[k]);
+      scratch.emplace_back(perm[cols[k]], vals[k]);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const EdgeCount base = m.row_ptr_[perm[r]];
+    for (std::size_t k = 0; k < scratch.size(); ++k) {
+      m.col_idx_[base + k] = scratch[k].first;
+      m.values_[base + k] = scratch[k].second;
     }
   }
-  return from_coo(std::move(coo));
+  return m;
 }
 
 CsrMatrix CsrMatrix::permute_rows(std::span<const NodeId> perm) const {
   HYMM_CHECK(perm.size() == rows_);
-  CooMatrix coo(rows_, cols_);
+  // Row reordering only: each row's column run is copied verbatim (it
+  // stays sorted), so no COO round trip or sort is needed.
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  for (NodeId r = 0; r < rows_; ++r) m.row_ptr_[perm[r] + 1] = row_nnz(r);
+  std::partial_sum(m.row_ptr_.begin(), m.row_ptr_.end(), m.row_ptr_.begin());
+  m.col_idx_.resize(col_idx_.size());
+  m.values_.resize(values_.size());
   for (NodeId r = 0; r < rows_; ++r) {
     const auto cols = row_cols(r);
     const auto vals = row_values(r);
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      coo.add(perm[r], cols[k], vals[k]);
-    }
+    const EdgeCount base = m.row_ptr_[perm[r]];
+    std::copy(cols.begin(), cols.end(), m.col_idx_.begin() + base);
+    std::copy(vals.begin(), vals.end(), m.values_.begin() + base);
   }
-  return from_coo(std::move(coo));
+  return m;
 }
 
 std::size_t CsrMatrix::storage_bytes() const {

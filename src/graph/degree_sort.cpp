@@ -13,10 +13,13 @@ std::vector<NodeId> degree_sort_permutation(const CsrMatrix& adjacency) {
   HYMM_CHECK_MSG(adjacency.rows() == adjacency.cols(),
                  "adjacency must be square");
   const NodeId n = adjacency.rows();
+  // Precompute degrees once; the comparator runs O(n log n) times.
+  std::vector<EdgeCount> degree(n);
+  for (NodeId r = 0; r < n; ++r) degree[r] = adjacency.row_nnz(r);
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), NodeId{0});
   std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return adjacency.row_nnz(a) > adjacency.row_nnz(b);
+    return degree[a] > degree[b];
   });
   // order[new] = old; invert to get perm[old] = new.
   std::vector<NodeId> perm(n);
@@ -57,10 +60,12 @@ std::vector<NodeId> bfs_permutation(const CsrMatrix& adjacency) {
   const NodeId n = adjacency.rows();
   // Seed order: nodes by decreasing degree, so the densest component
   // is numbered first.
+  std::vector<EdgeCount> degree(n);
+  for (NodeId r = 0; r < n; ++r) degree[r] = adjacency.row_nnz(r);
   std::vector<NodeId> seeds(n);
   std::iota(seeds.begin(), seeds.end(), NodeId{0});
   std::stable_sort(seeds.begin(), seeds.end(), [&](NodeId a, NodeId b) {
-    return adjacency.row_nnz(a) > adjacency.row_nnz(b);
+    return degree[a] > degree[b];
   });
 
   std::vector<NodeId> perm(n);

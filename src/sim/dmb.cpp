@@ -19,6 +19,18 @@ DenseMatrixBuffer::DenseMatrixBuffer(const AcceleratorConfig& config,
       stats_(stats) {
   HYMM_CHECK(capacity_lines_ > 0);
   lines_.reserve(capacity_lines_ * 2);
+  ready_waiters_.reserve(mshr_capacity_ * 2);
+}
+
+Cycle DenseMatrixBuffer::next_event(Cycle now) const {
+  Cycle e = kNoEvent;
+  if (!pending_prefetches_.empty()) {
+    e = std::min(e, std::max(pending_prefetches_.front().ready_cycle, now + 1));
+  }
+  if (!pending_hits_.empty()) {
+    e = std::min(e, std::max(pending_hits_.front().ready_cycle, now + 1));
+  }
+  return e;
 }
 
 std::uint64_t DenseMatrixBuffer::dram_tag_for(Addr line) const {
@@ -36,32 +48,34 @@ DenseMatrixBuffer::ReadResult DenseMatrixBuffer::read(Addr line,
                                                       TrafficClass cls,
                                                       std::uint64_t waiter_tag,
                                                       Cycle now) {
-  const auto it = lines_.find(line);
-  if (it != lines_.end()) {
+  if (LineState* state = lines_.find(line)) {
     ++stats_.dmb_read_hits;
-    touch(line, it->second);
+    touch(line, *state);
     pending_hits_.push_back(PendingHit{waiter_tag, now + hit_latency_});
     return ReadResult::kHit;
   }
 
   // An in-flight prefetch covers this line: the waiter gets the data
   // on arrival without consuming an MSHR.
-  const auto pf_it = prefetch_inflight_.find(line);
-  if (pf_it != prefetch_inflight_.end()) {
+  if (const Cycle* arrival = prefetch_inflight_.find(line)) {
     ++stats_.dmb_read_hits;
-    pending_hits_.push_back(PendingHit{
-        waiter_tag, std::max(now + hit_latency_, pf_it->second)});
+    pending_hits_.push_back(
+        PendingHit{waiter_tag, std::max(now + hit_latency_, *arrival)});
     return ReadResult::kHit;
   }
 
-  const auto mshr_it = mshrs_.find(line);
-  if (mshr_it != mshrs_.end()) {
+  if (Mshr* mshr = mshrs_.find(line)) {
     // Secondary miss: piggyback on the outstanding fill.
     ++stats_.dmb_read_misses;
-    mshr_it->second.waiters.push_back(waiter_tag);
+    mshr->waiters.push_back(waiter_tag);
     return ReadResult::kMiss;
   }
 
+  return read_absent(line, cls, waiter_tag, now);
+}
+
+DenseMatrixBuffer::ReadResult DenseMatrixBuffer::read_absent(
+    Addr line, TrafficClass cls, std::uint64_t waiter_tag, Cycle now) {
   if (mshrs_.size() >= mshr_capacity_ || !dram_.can_accept_read()) {
     return ReadResult::kReject;
   }
@@ -71,24 +85,24 @@ DenseMatrixBuffer::ReadResult DenseMatrixBuffer::read(Addr line,
   mshr.cls = cls;
   mshr.waiters.push_back(waiter_tag);
   mshrs_.emplace(line, std::move(mshr));
+  ++membership_epoch_;
   dram_.issue_read(line, cls, dram_tag_for(line), now);
   return ReadResult::kMiss;
 }
 
 bool DenseMatrixBuffer::install(Addr line, TrafficClass cls, bool dirty,
                                 Cycle now, bool ignore_write_bp) {
-  const auto it = lines_.find(line);
-  if (it != lines_.end()) {
-    it->second.dirty = it->second.dirty || dirty;
-    if (it->second.cls != cls) {
+  if (LineState* state = lines_.find(line)) {
+    state->dirty = state->dirty || dirty;
+    if (state->cls != cls) {
       // Reclassified line (e.g. an XW line rewritten): move it to the
       // appropriate recency tier.
-      list_for(it->second.cls).erase(it->second.lru_it);
+      list_for(state->cls).erase(state->lru_it);
       auto& list = list_for(cls);
-      it->second.lru_it = list.insert(list.end(), line);
-      it->second.cls = cls;
+      state->lru_it = list.insert(list.end(), line);
+      state->cls = cls;
     } else {
-      touch(line, it->second);
+      touch(line, *state);
     }
     return true;
   }
@@ -108,16 +122,16 @@ bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
   for (auto* list : {&data_lru_, &partial_lru_}) {
     for (auto it = list->begin(); it != list->end(); ++it) {
       const Addr victim = *it;
-      auto state_it = lines_.find(victim);
-      HYMM_DCHECK(state_it != lines_.end());
-      if (state_it->second.pinned) continue;
-      if (state_it->second.dirty) {
+      LineState* state = lines_.find(victim);
+      HYMM_DCHECK(state != nullptr);
+      if (state->pinned) continue;
+      if (state->dirty) {
         // A dirty victim needs a writeback slot; stall the allocation
         // under write back-pressure instead of booking unbounded
         // bandwidth.
         if (!ignore_write_bp && !dram_.can_accept_write(now)) return false;
-        dram_.issue_write(victim, state_it->second.cls, now);
-        if (state_it->second.cls == TrafficClass::kPartial) {
+        dram_.issue_write(victim, state->cls, now);
+        if (state->cls == TrafficClass::kPartial) {
           // Spilled partial stays live (unmerged) in DRAM; footprint
           // is unchanged, but the spill itself is counted.
           ++stats_.dmb_partial_spills;
@@ -125,7 +139,7 @@ bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
         }
       }
       list->erase(it);
-      lines_.erase(state_it);
+      lines_.erase(victim);
       ++stats_.dmb_evictions;
       HYMM_OBS(obs_, on_dmb_eviction(now));
       return true;
@@ -136,6 +150,7 @@ bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
 
 bool DenseMatrixBuffer::write_allocate(Addr line, TrafficClass cls,
                                        Cycle now) {
+  ++membership_epoch_;
   return install(line, cls, /*dirty=*/true, now);
 }
 
@@ -147,13 +162,13 @@ bool DenseMatrixBuffer::write_through(Addr line, TrafficClass cls,
 }
 
 bool DenseMatrixBuffer::accumulate(Addr line, Cycle now) {
-  const auto it = lines_.find(line);
-  if (it != lines_.end()) {
-    HYMM_DCHECK(it->second.cls == TrafficClass::kPartial);
+  ++membership_epoch_;
+  if (LineState* state = lines_.find(line)) {
+    HYMM_DCHECK(state->cls == TrafficClass::kPartial);
     ++stats_.dmb_accumulate_hits;
     ++stats_.merge_adds;
-    it->second.dirty = true;
-    touch(line, it->second);
+    state->dirty = true;
+    touch(line, *state);
     return true;
   }
   if (!install(line, TrafficClass::kPartial, /*dirty=*/true, now)) {
@@ -176,6 +191,7 @@ bool DenseMatrixBuffer::prefetch(Addr line, TrafficClass cls, Cycle now) {
   // Prefetches ride the same headroom window as writes so a saturated
   // channel throttles them before they starve demand traffic.
   if (!dram_.can_accept_write(now)) return false;
+  ++membership_epoch_;
   dram_.issue_streaming_read(cls, now);
   HYMM_OBS(obs_, on_dmb_prefetch());
   const Cycle ready = now + dram_latency_;
@@ -191,11 +207,11 @@ void DenseMatrixBuffer::demote_class(TrafficClass cls) {
   // their relative recency.
   std::list<Addr> demoted;
   for (auto it = data_lru_.begin(); it != data_lru_.end();) {
-    auto state_it = lines_.find(*it);
-    HYMM_DCHECK(state_it != lines_.end());
-    if (state_it->second.cls == cls) {
+    LineState* state = lines_.find(*it);
+    HYMM_DCHECK(state != nullptr);
+    if (state->cls == cls) {
       demoted.push_back(*it);
-      state_it->second.lru_it = std::prev(demoted.end());
+      state->lru_it = std::prev(demoted.end());
       it = data_lru_.erase(it);
     } else {
       ++it;
@@ -206,6 +222,7 @@ void DenseMatrixBuffer::demote_class(TrafficClass cls) {
 
 bool DenseMatrixBuffer::pin_partial(Addr line, Cycle now) {
   if (pinned_count_ >= capacity_lines_) return false;
+  ++membership_epoch_;
   // Pinning happens at phase start and must not fail on transient
   // write back-pressure: the evicted combination lines book their
   // writeback bandwidth and the phase simply starts later.
@@ -223,16 +240,17 @@ bool DenseMatrixBuffer::pin_partial(Addr line, Cycle now) {
 }
 
 void DenseMatrixBuffer::unpin_and_writeback_outputs(Cycle now) {
-  for (auto it = lines_.begin(); it != lines_.end();) {
-    if (!it->second.pinned) {
-      ++it;
-      continue;
-    }
-    dram_.issue_write(it->first, TrafficClass::kOutput, now);
+  pinned_scratch_.clear();
+  lines_.for_each([this](Addr line, LineState& state) {
+    if (state.pinned) pinned_scratch_.push_back(line);
+  });
+  for (const Addr line : pinned_scratch_) {
+    LineState& state = lines_.at(line);
+    dram_.issue_write(line, TrafficClass::kOutput, now);
     stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
     --pinned_count_;
-    list_for(it->second.cls).erase(it->second.lru_it);
-    it = lines_.erase(it);
+    list_for(state.cls).erase(state.lru_it);
+    lines_.erase(line);
   }
   HYMM_DCHECK(pinned_count_ == 0);
 }
@@ -240,31 +258,35 @@ void DenseMatrixBuffer::unpin_and_writeback_outputs(Cycle now) {
 bool DenseMatrixBuffer::writeback_one_partial(TrafficClass final_cls,
                                               Cycle now) {
   for (auto it = partial_lru_.begin(); it != partial_lru_.end(); ++it) {
-    auto state_it = lines_.find(*it);
-    HYMM_DCHECK(state_it != lines_.end());
-    if (state_it->second.pinned) continue;
-    dram_.issue_write(*it, final_cls, now);
+    const Addr line = *it;
+    LineState* state = lines_.find(line);
+    HYMM_DCHECK(state != nullptr);
+    if (state->pinned) continue;
+    dram_.issue_write(line, final_cls, now);
     stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
     partial_lru_.erase(it);
-    lines_.erase(state_it);
+    lines_.erase(line);
     return true;
   }
   return false;
 }
 
 void DenseMatrixBuffer::flush_dirty(Cycle now) {
-  for (auto& [line, state] : lines_) {
-    if (!state.dirty) continue;
+  // Map-iteration order is unobservable here: each dirty line books
+  // one write and the per-class byte counters are order-independent.
+  lines_.for_each([&](Addr line, LineState& state) {
+    if (!state.dirty) return;
     dram_.issue_write(line, state.cls, now);
     if (state.cls == TrafficClass::kPartial) {
       stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
     }
     state.dirty = false;
-  }
+  });
 }
 
 void DenseMatrixBuffer::reset_contents() {
   HYMM_CHECK_MSG(pinned_count_ == 0, "unpin before resetting the DMB");
+  ++membership_epoch_;
   lines_.clear();
   data_lru_.clear();
   partial_lru_.clear();
@@ -277,6 +299,7 @@ void DenseMatrixBuffer::reset_contents() {
 
 void DenseMatrixBuffer::tick(Cycle now) {
   ready_waiters_.clear();
+  tick_active_ = false;
   // Arrived prefetches install as clean lines (install failure under
   // back-pressure just drops the prefetch).
   while (!pending_prefetches_.empty() &&
@@ -285,26 +308,29 @@ void DenseMatrixBuffer::tick(Cycle now) {
     install(pf.line, pf.cls, /*dirty=*/false, now);
     prefetch_inflight_.erase(pf.line);
     pending_prefetches_.pop_front();
+    tick_active_ = true;
   }
   // Hit-latency expirations.
   while (!pending_hits_.empty() && pending_hits_.front().ready_cycle <= now) {
     ready_waiters_.push_back(pending_hits_.front().tag);
     pending_hits_.pop_front();
+    tick_active_ = true;
   }
   // DRAM fills addressed to us.
   for (const std::uint64_t tag : dram_.completions()) {
     if (tag_source(tag) != kDmbTagSource) continue;
+    tick_active_ = true;
     const Addr line = tag_payload(tag);
-    const auto it = mshrs_.find(line);
-    HYMM_DCHECK(it != mshrs_.end());
+    Mshr* mshr = mshrs_.find(line);
+    HYMM_DCHECK(mshr != nullptr);
     // Install as a clean line; when no victim is available (e.g.
     // everything pinned or write back-pressure) the fill bypasses the
     // buffer — the waiters still get their data.
-    install(line, it->second.cls, /*dirty=*/false, now);
-    for (const std::uint64_t waiter : it->second.waiters) {
+    install(line, mshr->cls, /*dirty=*/false, now);
+    for (const std::uint64_t waiter : mshr->waiters) {
       ready_waiters_.push_back(waiter);
     }
-    mshrs_.erase(it);
+    mshrs_.erase(line);
   }
 }
 

@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <deque>
 #include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "sim/dram.hpp"
 #include "sim/stats.hpp"
 
@@ -42,6 +42,24 @@ class DenseMatrixBuffer {
   // ready_waiters() when the data is available.
   ReadResult read(Addr line, TrafficClass cls, std::uint64_t waiter_tag,
                   Cycle now);
+
+  // Retry fast path for a line the caller has proven absent from all
+  // three directories (lines_, prefetch_inflight_, mshrs_): skips the
+  // membership probes and goes straight to the miss/reject decision,
+  // with outcomes and side effects identical to read(). Valid only
+  // while membership_epoch() still equals the value observed when the
+  // line's absence was established (a read() returning kReject proves
+  // absence).
+  ReadResult read_absent(Addr line, TrafficClass cls,
+                         std::uint64_t waiter_tag, Cycle now);
+
+  // Bumped whenever a line can join a directory: an MSHR allocation,
+  // a fresh install from the engine side (write-allocate, accumulate,
+  // pin), or a prefetch issue. MSHR-fill installs do NOT bump: a fill
+  // only installs a line that was in the MSHR table, and every entry
+  // into that table bumps the epoch itself — so a line proven absent
+  // under an unchanged epoch is still absent.
+  std::uint64_t membership_epoch() const { return membership_epoch_; }
 
   // Streaming prefetch for sequential access patterns (the OP
   // engines' stationary-row stream): books DRAM bandwidth without an
@@ -101,6 +119,17 @@ class DenseMatrixBuffer {
   // cycle after Dram::tick().
   void tick(Cycle now);
 
+  // True when the last tick() changed observable state (installed a
+  // prefetch, expired a pending hit, or processed a DRAM fill).
+  bool ticked_active() const { return tick_active_; }
+
+  // Earliest cycle after `now` at which this buffer changes state on
+  // its own: the head pending prefetch installing or the head pending
+  // hit expiring. Both queues drain head-first, so the fronts bound
+  // every later entry. DRAM fills ride Dram::next_event. kNoEvent
+  // when nothing is in flight here.
+  Cycle next_event(Cycle now) const;
+
   // Waiter tags whose data became available this cycle.
   const std::vector<std::uint64_t>& ready_waiters() const {
     return ready_waiters_;
@@ -157,7 +186,10 @@ class DenseMatrixBuffer {
     return cls == TrafficClass::kPartial ? partial_lru_ : data_lru_;
   }
 
-  std::unordered_map<Addr, LineState> lines_;
+  // Hot-path directories use the open-addressing FlatMap (see
+  // common/flat_map.hpp): membership probes here run per in-flight
+  // load per cycle and dominated the simulator's host-time profile.
+  FlatMap<LineState> lines_;
   // Two recency tiers, front = oldest. Data lines (W, XW, ...) share
   // one LRU so the phase's live working set wins regardless of class;
   // partial-output lines are victimized only when no data line is
@@ -167,9 +199,14 @@ class DenseMatrixBuffer {
   std::list<Addr> partial_lru_;
   std::size_t pinned_count_ = 0;
 
-  std::unordered_map<Addr, Mshr> mshrs_;
+  FlatMap<Mshr> mshrs_;
+  std::uint64_t membership_epoch_ = 0;
   std::deque<PendingHit> pending_hits_;
   std::vector<std::uint64_t> ready_waiters_;
+  bool tick_active_ = false;
+  // Scratch for unpin_and_writeback_outputs (FlatMap forbids erasing
+  // during for_each).
+  std::vector<Addr> pinned_scratch_;
 
   struct PendingPrefetch {
     Addr line = 0;
@@ -178,7 +215,7 @@ class DenseMatrixBuffer {
   };
   std::deque<PendingPrefetch> pending_prefetches_;
   // line -> arrival cycle of an in-flight prefetch
-  std::unordered_map<Addr, Cycle> prefetch_inflight_;
+  FlatMap<Cycle> prefetch_inflight_;
 
   Dram& dram_;
   SimStats& stats_;

@@ -54,6 +54,16 @@ class Dram {
     return completions_;
   }
 
+  // True when the last tick() changed observable state (delivered at
+  // least one completion). Part of the fast-forward quiescence check.
+  bool ticked_active() const { return !completions_.empty(); }
+
+  // Earliest cycle after `now` at which this channel changes state on
+  // its own: the head in-flight read completing, or write headroom
+  // returning once the booked slots drain back inside the
+  // write-buffer window. kNoEvent when neither is scheduled.
+  Cycle next_event(Cycle now) const;
+
   bool has_inflight_reads() const { return !inflight_.empty(); }
 
   // Cycle at which the channel finishes all accepted traffic,

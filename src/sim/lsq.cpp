@@ -12,7 +12,10 @@ LoadStoreQueue::LoadStoreQueue(const AcceleratorConfig& config,
     : capacity_(config.lsq_entries),
       forwarding_(config.lsq_store_to_load_forwarding),
       dmb_(dmb),
-      stats_(stats) {}
+      stats_(stats) {
+  load_entries_.reserve(capacity_ * 2);
+  unissued_loads_.reserve(capacity_);
+}
 
 std::size_t LoadStoreQueue::free_entries() const {
   const std::size_t used = load_entries_.size() + store_queue_.size();
@@ -38,32 +41,32 @@ std::optional<LoadStoreQueue::EntryId> LoadStoreQueue::load(Addr line,
     entry.issued = true;
     entry.ready = true;
   } else {
-    unissued_loads_.push_back(id);
+    unissued_loads_.push_back(UnissuedLoad{id, line, cls});
   }
   load_entries_.emplace(id, entry);
   return id;
 }
 
 bool LoadStoreQueue::is_ready(EntryId id) const {
-  const auto it = load_entries_.find(id);
-  HYMM_DCHECK(it != load_entries_.end());
-  return it != load_entries_.end() && it->second.ready;
+  const LoadEntry* entry = load_entries_.find(id);
+  HYMM_DCHECK(entry != nullptr);
+  return entry != nullptr && entry->ready;
 }
 
 LoadStoreQueue::LoadWait LoadStoreQueue::load_wait_state(EntryId id) const {
-  const auto it = load_entries_.find(id);
-  HYMM_DCHECK(it != load_entries_.end());
-  if (it == load_entries_.end() || it->second.ready) return LoadWait::kReady;
-  if (!it->second.issued) return LoadWait::kUnissued;
-  if (dmb_.has_pending_miss_for(it->second.line)) return LoadWait::kDramFill;
+  const LoadEntry* entry = load_entries_.find(id);
+  HYMM_DCHECK(entry != nullptr);
+  if (entry == nullptr || entry->ready) return LoadWait::kReady;
+  if (!entry->issued) return LoadWait::kUnissued;
+  if (dmb_.has_pending_miss_for(entry->line)) return LoadWait::kDramFill;
   return LoadWait::kDmbPending;
 }
 
 void LoadStoreQueue::release_load(EntryId id) {
-  const auto it = load_entries_.find(id);
-  HYMM_CHECK_MSG(it != load_entries_.end(), "releasing unknown LSQ entry");
-  HYMM_CHECK_MSG(it->second.ready, "releasing a load that is not ready");
-  load_entries_.erase(it);
+  const LoadEntry* entry = load_entries_.find(id);
+  HYMM_CHECK_MSG(entry != nullptr, "releasing unknown LSQ entry");
+  HYMM_CHECK_MSG(entry->ready, "releasing a load that is not ready");
+  load_entries_.erase(id);
 }
 
 bool LoadStoreQueue::store(Addr line, TrafficClass cls, StoreKind kind,
@@ -77,33 +80,45 @@ bool LoadStoreQueue::store(Addr line, TrafficClass cls, StoreKind kind,
   while (forward_fifo_.size() > capacity_) {
     const Addr oldest = forward_fifo_.front();
     forward_fifo_.pop_front();
-    const auto it = forward_lines_.find(oldest);
-    HYMM_DCHECK(it != forward_lines_.end());
-    if (--it->second == 0) forward_lines_.erase(it);
+    std::uint32_t* count = forward_lines_.find(oldest);
+    HYMM_DCHECK(count != nullptr);
+    if (--*count == 0) forward_lines_.erase(oldest);
   }
   return true;
 }
 
 void LoadStoreQueue::tick(Cycle now) {
+  tick_active_ = false;
   // 1. Data arriving from the DMB.
   for (const std::uint64_t tag : dmb_.ready_waiters()) {
-    const auto it = load_entries_.find(tag);
+    LoadEntry* entry = load_entries_.find(tag);
     // The waiter may have been forwarded-and-released already only if
     // ids were reused — they are not, so it must exist.
-    if (it != load_entries_.end()) it->second.ready = true;
+    if (entry != nullptr) {
+      entry->ready = true;
+      tick_active_ = true;
+    }
   }
 
   // 2. Issue loads to the DMB (retrying ones it rejected earlier).
+  // The descriptor carries line/class so the (common) reject outcome
+  // costs no load_entries_ probe.
   std::size_t kept = 0;
   for (std::size_t i = 0; i < unissued_loads_.size(); ++i) {
-    const EntryId id = unissued_loads_[i];
-    auto& entry = load_entries_.at(id);
-    const auto result = dmb_.read(entry.line, entry.cls, id, now);
+    UnissuedLoad u = unissued_loads_[i];
+    const auto result =
+        u.absent_epoch == dmb_.membership_epoch()
+            ? dmb_.read_absent(u.line, u.cls, u.id, now)
+            : dmb_.read(u.line, u.cls, u.id, now);
     if (result == DenseMatrixBuffer::ReadResult::kReject) {
       HYMM_OBS(obs_, on_lsq_reject());
-      unissued_loads_[kept++] = id;
+      // A full-probe reject proves the line absent everywhere; cache
+      // that under the current epoch.
+      u.absent_epoch = dmb_.membership_epoch();
+      unissued_loads_[kept++] = u;
     } else {
-      entry.issued = true;
+      load_entries_.at(u.id).issued = true;
+      tick_active_ = true;
     }
   }
   unissued_loads_.resize(kept);
@@ -123,7 +138,10 @@ void LoadStoreQueue::tick(Cycle now) {
         done = dmb_.accumulate(s.line, now);
         break;
     }
-    if (done) store_queue_.pop_front();
+    if (done) {
+      store_queue_.pop_front();
+      tick_active_ = true;
+    }
   }
 }
 

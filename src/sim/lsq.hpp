@@ -8,10 +8,10 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "sim/dmb.hpp"
 #include "sim/stats.hpp"
 
@@ -69,6 +69,19 @@ class LoadStoreQueue {
   // store. Call once per cycle after DenseMatrixBuffer::tick().
   void tick(Cycle now);
 
+  // True when the last tick() changed observable state (marked a load
+  // ready, got a retried load accepted, or drained a store). Failed
+  // retries and blocked store drains are pure no-ops and repeat
+  // identically until a DRAM/DMB event, so they do not count.
+  bool ticked_active() const { return tick_active_; }
+
+  // The queue holds no internal timers: every state change is driven
+  // by the DMB/DRAM events or by engine action.
+  Cycle next_event(Cycle now) const {
+    (void)now;
+    return kNoEvent;
+  }
+
   bool all_stores_drained() const { return store_queue_.empty(); }
   std::size_t pending_loads() const { return load_entries_.size(); }
   std::size_t pending_stores() const { return store_queue_.size(); }
@@ -90,16 +103,30 @@ class LoadStoreQueue {
   std::size_t capacity_;
   bool forwarding_;
 
+  // Retry descriptor: carries the line/class so a rejected retry
+  // costs zero load_entries_ probes (the entry is only touched on
+  // acceptance), plus the DMB membership epoch under which the line
+  // was last proven absent from every directory — while it still
+  // matches, the retry takes DenseMatrixBuffer::read_absent and
+  // skips the probes too.
+  struct UnissuedLoad {
+    EntryId id = 0;
+    Addr line = 0;
+    TrafficClass cls = TrafficClass::kCombined;
+    std::uint64_t absent_epoch = ~std::uint64_t{0};
+  };
+
   EntryId next_id_ = 1;
-  std::unordered_map<EntryId, LoadEntry> load_entries_;
-  std::vector<EntryId> unissued_loads_;
+  FlatMap<LoadEntry> load_entries_;
+  std::vector<UnissuedLoad> unissued_loads_;
+  bool tick_active_ = false;
   std::deque<StoreEntry> store_queue_;
   // Store-to-load forwarding window: the last `capacity_` stored
   // lines. Section IV-B forwards from any matching entry — the store
   // need not still be pending, only not yet replaced. SpDeMM output
   // addresses are written once, so stale-data hazards cannot arise.
   std::deque<Addr> forward_fifo_;
-  std::unordered_map<Addr, std::uint32_t> forward_lines_;
+  FlatMap<std::uint32_t> forward_lines_;
 
   DenseMatrixBuffer& dmb_;
   SimStats& stats_;

@@ -108,6 +108,7 @@ void SparseMatrixQueue::decode_entries(std::size_t count) {
 }
 
 void SparseMatrixQueue::tick(Cycle now) {
+  tick_active_ = false;
   // 1. Arrived refills become decodable entries.
   for (const std::uint64_t tag : dram_.completions()) {
     if (tag_source(tag) != kSmqTagSource) continue;
@@ -115,6 +116,7 @@ void SparseMatrixQueue::tick(Cycle now) {
     HYMM_DCHECK(inflight_refills_.front().first == tag_payload(tag));
     decode_entries(inflight_refills_.front().second);
     inflight_refills_.pop_front();
+    tick_active_ = true;
   }
 
   // 2. Issue refills while there is stream left, buffer headroom and
@@ -132,6 +134,7 @@ void SparseMatrixQueue::tick(Cycle now) {
     HYMM_OBS(obs_, on_smq_refill());
     inflight_refills_.emplace_back(payload, chunk);
     requested_ += chunk;
+    tick_active_ = true;
 
     // Pointer stream: one 64-byte pointer line accompanies every
     // kLineBytes/4 outer units; issued as deeply prefetched

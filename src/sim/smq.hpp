@@ -58,6 +58,18 @@ class SparseMatrixQueue {
   // cycle after Dram::tick().
   void tick(Cycle now);
 
+  // True when the last tick() changed observable state (decoded an
+  // arrived refill or issued a new one).
+  bool ticked_active() const { return tick_active_; }
+
+  // Refill arrivals ride Dram::next_event; issue is gated purely on
+  // headroom and DRAM queue space, which change only at DRAM events
+  // or engine pops. No internal timers.
+  Cycle next_event(Cycle now) const {
+    (void)now;
+    return kNoEvent;
+  }
+
  private:
   // Row-major cursor over the attached matrix; works for CSC too
   // because CscMatrix exposes its transpose through the same shape.
@@ -91,6 +103,7 @@ class SparseMatrixQueue {
   std::uint64_t next_refill_tag_ = 0;
   // In-flight refills: tag payload -> entry count (FIFO by tag).
   std::deque<std::pair<std::uint64_t, std::size_t>> inflight_refills_;
+  bool tick_active_ = false;
 
   Dram& dram_;
   SimStats& stats_;

@@ -100,6 +100,7 @@ double SimStats::timeline_fraction_above(std::uint64_t bytes) const {
 
 void SimStats::merge_phase(const SimStats& other) {
   cycles += other.cycles;
+  skipped_cycles += other.skipped_cycles;
   for (std::size_t i = 0; i < kStallCauseCount; ++i) {
     stall_cycles[i] += other.stall_cycles[i];
   }
@@ -131,6 +132,7 @@ SimStats scale_stats(const SimStats& s, double fraction) {
   };
   SimStats out = s;
   out.cycles = scale(s.cycles);
+  out.skipped_cycles = scale(s.skipped_cycles);
   out.mac_ops = scale(s.mac_ops);
   out.alu_busy_cycles = scale(s.alu_busy_cycles);
   out.merge_adds = scale(s.merge_adds);
@@ -171,6 +173,7 @@ SimStats scale_stats(const SimStats& s, double fraction) {
 SimStats stats_delta(const SimStats& after, const SimStats& before) {
   SimStats d = after;
   d.cycles -= before.cycles;
+  d.skipped_cycles -= before.skipped_cycles;
   for (std::size_t i = 0; i < kStallCauseCount; ++i) {
     d.stall_cycles[i] -= before.stall_cycles[i];
   }

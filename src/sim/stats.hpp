@@ -38,6 +38,11 @@ struct SimStats {
   // accounting" for the taxonomy and attribution priority.
   std::array<Cycle, kStallCauseCount> stall_cycles{};
 
+  // Cycles the event-driven fast-forward bulk-accounted instead of
+  // ticking one by one (a subset of `cycles`; purely diagnostic — the
+  // stall buckets already include them).
+  Cycle skipped_cycles = 0;
+
   // Compute.
   std::uint64_t mac_ops = 0;        // scalar x vector MACs retired
   Cycle alu_busy_cycles = 0;        // cycles with at least one PE op

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/flat_map.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -175,6 +177,73 @@ TEST(Types, LineGeometry) {
   EXPECT_EQ(kLineBytes, 64u);
   EXPECT_EQ(kLaneCount, 16u);
   EXPECT_EQ(kLineBytes, kLaneCount * sizeof(Value));
+}
+
+TEST(FlatMap, InsertFindEraseRoundTrip) {
+  FlatMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+  map.emplace(42, 7);
+  map.emplace(0, 1);  // key 0 is a valid key, not a sentinel
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 7);
+  EXPECT_EQ(*map.find(0), 1);
+  EXPECT_EQ(map.size(), 2u);
+  map.emplace(42, 8);  // overwrite, not duplicate
+  EXPECT_EQ(*map.find(42), 8);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.erase(42));
+  EXPECT_FALSE(map.erase(42));
+  EXPECT_EQ(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(0), 1);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<std::uint32_t> counts;
+  ++counts[5];
+  ++counts[5];
+  ++counts[9];
+  EXPECT_EQ(counts[5], 2u);
+  EXPECT_EQ(counts[9], 1u);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+// Mirror model check across growth and backward-shift deletion: the
+// map must agree with std::map on a deterministic churn workload
+// (including 64-byte-aligned "line address" keys that stress the
+// low-bit-zero hashing case).
+TEST(FlatMap, MatchesReferenceModelUnderChurn) {
+  FlatMap<std::uint64_t> map;
+  std::map<std::uint64_t, std::uint64_t> model;
+  Rng rng(123);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = (rng.next_below(512)) * 64;
+    const auto op = rng.next_below(3);
+    if (op == 0) {
+      map.emplace(key, step);
+      model[key] = static_cast<std::uint64_t>(step);
+    } else if (op == 1) {
+      EXPECT_EQ(map.erase(key), model.erase(key) > 0);
+    } else {
+      const std::uint64_t* found = map.find(key);
+      const auto it = model.find(key);
+      ASSERT_EQ(found != nullptr, it != model.end());
+      if (found != nullptr) EXPECT_EQ(*found, it->second);
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+  // Full-content sweep via for_each.
+  std::size_t visited = 0;
+  map.for_each([&](std::uint64_t key, std::uint64_t& value) {
+    ++visited;
+    const auto it = model.find(key);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, model.size());
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(64), nullptr);
 }
 
 }  // namespace

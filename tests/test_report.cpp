@@ -132,7 +132,7 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   const std::string doc = out.str();
   ASSERT_TRUE(json_is_valid(doc)) << doc;
 
-  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/2\""),
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/3\""),
             std::string::npos);
   const auto expect_field = [&doc](const std::string& key,
                                    std::uint64_t value) {
@@ -161,6 +161,9 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   expect_field("compute", 700);
   expect_field("dram_latency", 200);
   expect_field("stall_total", 1000);
+  // Fast-forward coverage (schema /3 additions).
+  EXPECT_NE(doc.find("\"skipped_cycles\""), std::string::npos);
+  EXPECT_NE(doc.find("\"sim_wall_ms\""), std::string::npos);
   expect_field("dram_peak_bytes_per_cycle", 64);
   EXPECT_NE(doc.find("\"bottleneck\": \"compute-bound\""),
             std::string::npos);
@@ -209,6 +212,8 @@ TEST(ResultsJson, AppendsTraceInfoWhenProvided) {
   EXPECT_NE(doc.find("\"trace\""), std::string::npos);
   EXPECT_NE(doc.find("\"events\": 2"), std::string::npos);
   EXPECT_NE(doc.find("\"dropped_instants\": 0"), std::string::npos);
+  // Schema /3: the trace block reports the fast-forwarded span.
+  EXPECT_NE(doc.find("\"skipped_cycles\": 0"), std::string::npos);
 }
 
 }  // namespace

@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   if (!opts.datasets_explicit) {
     opts.datasets = {*find_dataset("AP"), *find_dataset("AC")};
   }
-  const std::vector<double> thresholds = {0.0, 0.05, 0.10, 0.20,
-                                          0.35, 0.50};
+  // The tuner's canonical candidate list (tune/tuner.hpp) — the
+  // ablation sweeps exactly the thresholds the auto-tuner searches,
+  // so the two can never drift apart.
+  const std::vector<double> thresholds = candidate_thresholds();
   std::vector<AcceleratorConfig> configs(thresholds.size());
   for (std::size_t c = 0; c < thresholds.size(); ++c) {
     configs[c].tiling_threshold = thresholds[c];

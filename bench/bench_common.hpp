@@ -30,6 +30,7 @@
 #include "obs/observer.hpp"
 #include "sweep/bench_options.hpp"
 #include "sweep/sweep.hpp"
+#include "tune/tuner.hpp"
 
 namespace hymm::bench {
 
@@ -62,6 +63,35 @@ inline void check_verified(const DataflowComparison& comparison) {
                 << " failed functional verification (max err "
                 << r.max_abs_err << ")\n";
     }
+  }
+}
+
+// Writes one observer group's trace/report files (one per dataset and
+// config, under opts.trace_dir / opts.json_dir).
+inline void write_group_artifacts(const BenchOptions& opts,
+                                  const DataflowComparison& comparison,
+                                  const Observer& observer,
+                                  const std::string& infix) {
+  if (!opts.trace_dir.empty()) {
+    const std::string path =
+        opts.trace_dir + "/" + comparison.spec.abbrev + infix + ".trace.json";
+    std::ofstream out(path);
+    observer.trace().write(out);
+    std::cerr << "[bench] wrote " << path << " ("
+              << observer.trace().event_count() << " events";
+    if (observer.trace().dropped_instants() > 0) {
+      std::cerr << ", " << observer.trace().dropped_instants()
+                << " instants dropped";
+    }
+    std::cerr << ")\n";
+  }
+  if (!opts.json_dir.empty()) {
+    const std::string path =
+        opts.json_dir + "/" + comparison.spec.abbrev + infix + ".report.json";
+    std::ofstream out(path);
+    write_results_json(comparison.results, out, &observer.metrics(),
+                       &observer.trace());
+    std::cerr << "[bench] wrote " << path << "\n";
   }
 }
 
@@ -123,27 +153,7 @@ inline std::vector<std::vector<DataflowComparison>> run_config_sweep(
     // cK infix keeps multi-config sweeps from overwriting each other.
     const std::string infix =
         configs.size() > 1 ? ".c" + std::to_string(first.config_index) : "";
-    if (!opts.trace_dir.empty()) {
-      const std::string path = opts.trace_dir + "/" + comparison.spec.abbrev +
-                               infix + ".trace.json";
-      std::ofstream out(path);
-      group.observer->trace().write(out);
-      std::cerr << "[bench] wrote " << path << " ("
-                << group.observer->trace().event_count() << " events";
-      if (group.observer->trace().dropped_instants() > 0) {
-        std::cerr << ", " << group.observer->trace().dropped_instants()
-                  << " instants dropped";
-      }
-      std::cerr << ")\n";
-    }
-    if (!opts.json_dir.empty()) {
-      const std::string path = opts.json_dir + "/" + comparison.spec.abbrev +
-                               infix + ".report.json";
-      std::ofstream out(path);
-      write_results_json(comparison.results, out, &group.observer->metrics(),
-                         &group.observer->trace());
-      std::cerr << "[bench] wrote " << path << "\n";
-    }
+    write_group_artifacts(opts, comparison, *group.observer, infix);
   }
   return by_config;
 }
@@ -158,6 +168,71 @@ inline std::vector<DataflowComparison> run_datasets(
   std::vector<std::vector<DataflowComparison>> by_config =
       run_config_sweep(opts, {config}, flows);
   return std::move(by_config.front());
+}
+
+// Auto-tuned variant of run_datasets (opts.autotune != kOff): tunes
+// each dataset's hybrid tiling threshold with the requested mode
+// (decisions persisted in opts.tune_cache when set), then simulates
+// the dataset's flows under its tuned config. The tuned threshold is
+// per dataset, so datasets run as successive single-workload sweeps
+// — the one prepared workload is shared immutably between the
+// tuner's candidate cells and the final run. Hybrid results carry
+// the TuneInfo annotation; `decisions_out` (optional) receives one
+// decision per dataset in selection order.
+inline std::vector<DataflowComparison> run_autotuned_datasets(
+    const BenchOptions& opts, const AcceleratorConfig& base = {},
+    const std::vector<Dataflow>& flows = {Dataflow::kOuterProduct,
+                                          Dataflow::kRowWiseProduct,
+                                          Dataflow::kHybrid},
+    std::vector<TuneDecision>* decisions_out = nullptr) {
+  Tuner tuner(opts.tune_cache);
+  WorkloadCache cache;
+  std::vector<DataflowComparison> out;
+  for (const DatasetSpec& dataset : opts.datasets) {
+    const double scale = opts.scale_for(dataset);
+    std::cerr << "[bench] tuning " << dataset.abbrev << " at scale " << scale
+              << " (" << to_string(opts.autotune) << ") ..." << std::endl;
+    const std::shared_ptr<const PreparedWorkload> prepared =
+        cache.get(dataset, scale, opts.seed);
+    const TuneDecision decision =
+        tuner.tune(prepared, base, opts.autotune, opts.threads);
+    std::cerr << "[bench]   threshold " << decision.fixed_threshold << " -> "
+              << decision.threshold
+              << (decision.cache_hit ? " (cache hit)" : "") << "\n";
+
+    SweepSpec spec;
+    spec.workloads = {prepared};
+    spec.configs = {Tuner::apply(base, decision)};
+    spec.flows = flows;
+    spec.seed = opts.seed;
+
+    SweepOptions sweep_options;
+    sweep_options.threads = opts.threads;
+    sweep_options.observe = opts.observing();
+    sweep_options.observer_options.trace = !opts.trace_dir.empty();
+    sweep_options.group_key = [](const SweepCell&) {
+      return std::string("all");
+    };
+    SweepRunner runner(sweep_options);
+    const SweepRun run = runner.run(spec);
+
+    DataflowComparison comparison;
+    comparison.spec = run.cells.front().scaled_spec;
+    comparison.scale = run.cells.front().cell.scale;
+    for (const SweepCellResult& cell : run.cells) {
+      ExperimentResult r = cell.result;
+      if (r.flow == Dataflow::kHybrid) r.tune = to_tune_info(decision);
+      comparison.results.push_back(std::move(r));
+    }
+    check_verified(comparison);
+    if (opts.observing() && run.groups.front().observer != nullptr) {
+      write_group_artifacts(opts, comparison, *run.groups.front().observer,
+                            "");
+    }
+    if (decisions_out != nullptr) decisions_out->push_back(decision);
+    out.push_back(std::move(comparison));
+  }
+  return out;
 }
 
 }  // namespace hymm::bench

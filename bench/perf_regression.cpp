@@ -10,7 +10,11 @@
 // output path defaults to BENCH_<rev>.json in the working directory.
 // Dataset selection, scaling and sweep parallelism follow the shared
 // bench knobs (HYMM_DATASETS, HYMM_SCALE, HYMM_FULL_DATASETS,
-// HYMM_THREADS / --datasets, --scale, --threads, ...).
+// HYMM_THREADS / --datasets, --scale, --threads, ...). With
+// --autotune[=analytic|measured] (HYMM_AUTOTUNE) the hybrid runs
+// under each dataset's tuned tiling threshold instead of the fixed
+// default — the CI autotune leg snapshots analytic-tuned cycles this
+// way and diffs them against a fixed-threshold snapshot.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -43,7 +47,9 @@ int main(int argc, char** argv) {
   if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
 
   const std::vector<DataflowComparison> comparisons =
-      bench::run_datasets(opts);
+      opts.autotune == AutotuneMode::kOff
+          ? bench::run_datasets(opts)
+          : bench::run_autotuned_datasets(opts);
 
   std::ofstream out(out_path);
   JsonWriter w(out);

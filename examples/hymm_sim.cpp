@@ -27,6 +27,7 @@
 #include "obs/observer.hpp"
 #include "sweep/bench_options.hpp"
 #include "sweep/sweep.hpp"
+#include "tune/tuner.hpp"
 
 namespace {
 
@@ -47,6 +48,9 @@ void usage() {
       "  --threads <n>        sweep workers (default: HYMM_THREADS/auto)\n"
       "  --dmb-kb <n>         DMB capacity in KB (default 256)\n"
       "  --tiling <0..1>      tiling threshold (default 0.2)\n"
+      "  --autotune[=mode]    tune the hybrid tiling threshold per graph\n"
+      "                       (analytic|measured; bare = measured)\n"
+      "  --tune-cache <file>  persist tuner decisions (hymm-tune-cache/1)\n"
       "  --fifo               FIFO eviction instead of LRU\n"
       "  --no-accumulator     disable the near-memory accumulator\n"
       "  --csv <file>         append machine-readable results\n"
@@ -177,6 +181,24 @@ int main(int argc, char** argv) {
             << prepared->workload().adjacency.nnz() << " edges, "
             << prepared->workload().features.cols() << " features\n\n";
 
+  // --- Auto-tune the hybrid tiling threshold (src/tune/) ---
+  TuneDecision tune_decision;
+  if (opts.autotune != AutotuneMode::kOff) {
+    Tuner tuner(opts.tune_cache);
+    tune_decision =
+        tuner.tune(prepared, config, opts.autotune, opts.threads);
+    config = Tuner::apply(config, tune_decision);
+    std::cout << "Autotune (" << to_string(tune_decision.mode)
+              << "): threshold " << tune_decision.fixed_threshold << " -> "
+              << tune_decision.threshold
+              << (tune_decision.cache_hit ? " (cache hit)" : "");
+    if (tune_decision.simulations > 0) {
+      std::cout << " after " << tune_decision.simulations
+                << " candidate simulations";
+    }
+    std::cout << "\n\n";
+  }
+
   // --- Run the flows as one sweep ---
   SweepSpec sweep_spec;
   sweep_spec.workloads = {prepared};
@@ -203,7 +225,11 @@ int main(int argc, char** argv) {
 
   std::vector<ExperimentResult> results;
   for (const SweepCellResult& cell : run.cells) {
-    const ExperimentResult& r = cell.result;
+    ExperimentResult r = cell.result;
+    if (opts.autotune != AutotuneMode::kOff &&
+        r.flow == Dataflow::kHybrid) {
+      r.tune = to_tune_info(tune_decision);
+    }
     std::cout << to_string(r.flow) << " ("
               << (r.verified ? "verified" : "MISMATCH")
               << ", max err " << r.max_abs_err << ")\n";

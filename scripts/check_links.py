@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (stdlib only).
+
+Usage: scripts/check_links.py [FILE_OR_DIR ...]
+       (default: docs/ README.md EXPERIMENTS.md DESIGN.md)
+
+Checks, for every markdown file:
+  - relative links resolve to an existing file or directory;
+  - intra-document and cross-document #anchors match a real heading
+    (GitHub-style slugs);
+  - no link target is an absolute filesystem path.
+External (http/https/mailto) URLs are not fetched — CI must not
+depend on network reachability — but must at least parse.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as file:line: message).
+"""
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+IMAGE_RE = re.compile(r"!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor slug: strip markup and punctuation,
+    lowercase, spaces to hyphens."""
+    title = re.sub(r"`([^`]*)`", r"\1", title)          # inline code
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # links
+    title = unicodedata.normalize("NFKD", title)
+    out = []
+    for ch in title.lower():
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch in " \t":
+            out.append("-")
+        # any other punctuation is dropped
+    return "".join(out)
+
+
+def headings_of(path: Path, cache={}) -> set:
+    if path not in cache:
+        slugs, counts = set(), {}
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group("title"))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, repo_root: Path) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for regex in (LINK_RE, IMAGE_RE):
+            for m in regex.finditer(line):
+                target = m.group("target")
+                err = check_target(path, target, repo_root)
+                if err:
+                    errors.append(f"{path}:{lineno}: {err}")
+    return errors
+
+
+def check_target(source: Path, target: str, repo_root: Path):
+    if target.startswith(("http://", "https://", "mailto:")):
+        return None  # not fetched: CI must work offline
+    if target.startswith("/"):
+        return f"absolute path link '{target}' (use a relative path)"
+    file_part, _, anchor = target.partition("#")
+    dest = source if not file_part else (source.parent / file_part).resolve()
+    if not dest.exists():
+        return f"broken link '{target}' (no such file '{file_part}')"
+    if repo_root not in dest.parents and dest != repo_root:
+        return f"link '{target}' escapes the repository"
+    if anchor:
+        if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+            return f"anchor link '{target}' into a non-markdown target"
+        if anchor not in headings_of(dest):
+            return f"broken anchor '{target}' (no heading slug '#{anchor}')"
+    return None
+
+
+def main(argv):
+    repo_root = Path(__file__).resolve().parent.parent
+    args = argv[1:] or ["docs", "README.md", "EXPERIMENTS.md", "DESIGN.md"]
+    files = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"check_links: no such input {arg}", file=sys.stderr)
+            return 2
+    errors = []
+    for f in files:
+        errors.extend(check_file(f.resolve(), repo_root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,7 +20,7 @@
 #                        useful to see what the fast-forward removed
 #
 # Reading the output: sort by exclusive CPU time. The known hot spots
-# and their fixes are catalogued in DESIGN.md 5f — before the PR that
+# and their fixes are catalogued in docs/architecture.md — before the PR that
 # added it, LoadStoreQueue::tick's retry loop plus
 # DenseMatrixBuffer::read's directory probes dominated RWP/HyMM cells
 # at ~20x the OP engine's per-cycle cost. Note gprofng's totals

@@ -170,10 +170,34 @@ void write_stats_json(JsonWriter& w, const SimStats& s) {
   }
   w.end_object();
   w.field("stall_total", std::uint64_t{s.stall_total()});
-  // Cycles covered by the event-driven fast-forward (DESIGN.md 5f);
+  // Cycles covered by the event-driven fast-forward (docs/architecture.md);
   // a subset of `cycles`, already included in the stall buckets.
   w.field("skipped_cycles", std::uint64_t{s.skipped_cycles});
   w.field("bottleneck", to_string(s.bottleneck()));
+  w.end_object();
+}
+
+// Schema /4: how the tiling threshold was chosen (docs/tuning.md).
+// Only emitted when a tuner actually ran (tune.enabled).
+void write_tune_json(JsonWriter& w, const TuneInfo& t) {
+  w.begin_object();
+  w.field("mode", t.mode);
+  w.field("fixed_threshold", t.fixed_threshold);
+  w.field("threshold", t.threshold);
+  w.field("cache_hit", t.cache_hit);
+  w.field("simulations", t.simulations);
+  w.field("graph_fingerprint", t.graph_fingerprint);
+  w.field("config_hash", t.config_hash);
+  w.key("candidates");
+  w.begin_array();
+  for (const TuneCandidateInfo& c : t.candidates) {
+    w.begin_object();
+    w.field("threshold", c.threshold);
+    w.field("model_cycles", c.model_cycles);
+    w.field("measured_cycles", c.measured_cycles);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -196,7 +220,7 @@ void write_results_json(std::span<const ExperimentResult> results,
                         const TraceWriter* trace) {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-run-report/3");
+  w.field("schema", "hymm-run-report/4");
   w.key("results");
   w.begin_array();
   for (const ExperimentResult& r : results) {
@@ -217,6 +241,10 @@ void write_results_json(std::span<const ExperimentResult> results,
     if (r.flow == Dataflow::kHybrid) {
       w.key("partition");
       write_partition_json(w, r.partition);
+    }
+    if (r.tune.enabled) {
+      w.key("tune");
+      write_tune_json(w, r.tune);
     }
     w.key("stats");
     write_stats_json(w, r.stats);
@@ -250,7 +278,7 @@ void write_results_json(std::span<const ExperimentResult> results,
     w.field("dropped_instants",
             static_cast<std::uint64_t>(trace->dropped_instants()));
     // Cycle-domain span the trace never saw per-cycle ticks for
-    // (fast-forwarded; schema /3).
+    // (fast-forwarded; since schema /3).
     w.field("skipped_cycles", skipped);
     w.end_object();
   }

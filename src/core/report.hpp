@@ -38,12 +38,14 @@ std::string csv_quote(const std::string& field);
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out);
 
-// JSON run report (schema "hymm-run-report/3"): one object per result
-// carrying the full SimStats counter set (whole layer plus the
-// combination/aggregation phase deltas and, for hybrid runs, the
-// per-region breakdown), each with its stall-cycle breakdown and
-// bottleneck verdict, plus the partition and the verification
-// verdict. When `metrics` is non-null its counters/gauges/histograms
+// JSON run report (schema "hymm-run-report/4"; spec in
+// docs/schemas.md): one object per result carrying the full SimStats
+// counter set (whole layer plus the combination/aggregation phase
+// deltas and, for hybrid runs, the per-region breakdown), each with
+// its stall-cycle breakdown and bottleneck verdict, plus the
+// partition, the verification verdict and — when a result was
+// auto-tuned — the tuner decision under "tune".
+// When `metrics` is non-null its counters/gauges/histograms
 // are appended under "metrics"; when `trace` is non-null its event
 // and dropped-instant counts are appended under "trace". Output is
 // valid JSON (obs/json.hpp's json_is_valid accepts it).

@@ -1,7 +1,8 @@
-// Experiment runner shared by the bench binaries, the examples and
-// the integration tests: builds a workload, simulates it under each
-// dataflow, verifies the functional output against the golden model
-// and distills the metrics the paper's figures report.
+/// @file
+/// Experiment runner shared by the bench binaries, the examples and
+/// the integration tests: builds a workload, simulates it under each
+/// dataflow, verifies the functional output against the golden model
+/// and distills the metrics the paper's figures report.
 #pragma once
 
 #include <string>
@@ -12,27 +13,57 @@
 #include "graph/datasets.hpp"
 #include "linalg/gcn.hpp"
 
+/// Everything in the HyMM reproduction — simulator, graph pipeline,
+/// sweep harness and auto-tuner — lives in this namespace.
 namespace hymm {
 
+/// One evaluated tuner candidate, as recorded in the run report.
+struct TuneCandidateInfo {
+  double threshold = 0.0;        ///< candidate tiling threshold
+  double model_cycles = 0.0;     ///< analytic cost-model estimate
+  double measured_cycles = 0.0;  ///< simulated cycles; 0 if not simulated
+};
+
+/// Driver-level annotation describing how a result's tiling threshold
+/// was chosen (src/tune/). Plain data: core does not depend on the
+/// tuner library — drivers that ran the tuner attach the decision to
+/// their hybrid results, and the JSON run report (hymm-run-report/4)
+/// serializes it under "tune".
+struct TuneInfo {
+  bool enabled = false;          ///< false = fixed config threshold
+  std::string mode;              ///< "analytic" | "measured"
+  double fixed_threshold = 0.0;  ///< baseline before tuning
+  double threshold = 0.0;        ///< threshold actually simulated
+  bool cache_hit = false;        ///< decision served from the tune cache
+  std::uint64_t simulations = 0; ///< candidate simulations this run paid
+  std::string graph_fingerprint; ///< hex digest of the tuned workload
+  std::string config_hash;       ///< hex digest of the timing config
+  std::vector<TuneCandidateInfo> candidates;  ///< search detail (empty on hits)
+};
+
+/// Distilled metrics of one simulated (dataset, dataflow, config)
+/// cell: the paper-figure numbers up front, full counter sets and
+/// per-phase/per-region breakdowns behind them.
 struct ExperimentResult {
-  std::string dataset;
-  std::string abbrev;
-  double scale = 1.0;
-  Dataflow flow = Dataflow::kRowWiseProduct;
+  std::string dataset;  ///< full dataset name ("Cora")
+  std::string abbrev;   ///< Table II abbreviation ("CR")
+  double scale = 1.0;   ///< simulation scale factor (1 = full size)
+  Dataflow flow = Dataflow::kRowWiseProduct;  ///< dataflow simulated
 
-  Cycle cycles = 0;
-  double alu_utilization = 0.0;  // Fig 8
-  double dmb_hit_rate = 0.0;     // Fig 9
-  std::uint64_t dram_total_bytes = 0;  // Fig 11 (total)
-  std::array<std::uint64_t, kTrafficClassCount> dram_read_bytes{};
-  std::array<std::uint64_t, kTrafficClassCount> dram_write_bytes{};
-  std::uint64_t partial_bytes_peak = 0;  // Fig 10
-  std::uint64_t mac_ops = 0;
+  Cycle cycles = 0;              ///< total layer cycles (Fig 7)
+  double alu_utilization = 0.0;  ///< Fig 8
+  double dmb_hit_rate = 0.0;     ///< Fig 9
+  std::uint64_t dram_total_bytes = 0;  ///< Fig 11 (total)
+  std::array<std::uint64_t, kTrafficClassCount> dram_read_bytes{};   ///< Fig 11 per class
+  std::array<std::uint64_t, kTrafficClassCount> dram_write_bytes{};  ///< Fig 11 per class
+  std::uint64_t partial_bytes_peak = 0;  ///< Fig 10
+  std::uint64_t mac_ops = 0;             ///< retired multiply-accumulates
 
-  // Configured DRAM peak (bytes per cycle); with cycles and
-  // dram_total_bytes this yields the bandwidth-roofline utilization
-  // reported alongside the bottleneck verdict.
+  /// Configured DRAM peak (bytes per cycle); with cycles and
+  /// dram_total_bytes this yields the bandwidth-roofline utilization
+  /// reported alongside the bottleneck verdict.
   std::uint64_t dram_peak_bytes_per_cycle = 0;
+  /// Fraction of the DRAM bandwidth roofline this run consumed.
   double dram_bw_utilization() const {
     const double peak =
         static_cast<double>(dram_peak_bytes_per_cycle) *
@@ -40,59 +71,65 @@ struct ExperimentResult {
     return peak > 0.0 ? static_cast<double>(dram_total_bytes) / peak : 0.0;
   }
 
-  Cycle combination_cycles = 0;
-  Cycle aggregation_cycles = 0;
-  double preprocess_ms = 0.0;  // Table II sorting cost (hybrid only)
-  // Host wall-clock of the simulation itself (run_layer, excluding
-  // workload build and verification) — the perf-gate artifact's
-  // wall-clock evidence. Machine-dependent; never gated on.
+  Cycle combination_cycles = 0;  ///< XW phase share of `cycles`
+  Cycle aggregation_cycles = 0;  ///< A_hat*XW phase share of `cycles`
+  double preprocess_ms = 0.0;  ///< Table II sorting cost (hybrid only)
+  /// Host wall-clock of the simulation itself (run_layer, excluding
+  /// workload build and verification) — the perf-gate artifact's
+  /// wall-clock evidence. Machine-dependent; never gated on.
   double sim_wall_ms = 0.0;
-  RegionPartition partition;   // hybrid only
+  RegionPartition partition;   ///< hybrid only
 
-  bool verified = false;    // matches the golden model
-  double max_abs_err = 0.0;
+  bool verified = false;     ///< matches the golden model
+  double max_abs_err = 0.0;  ///< worst element error vs. the golden model
 
-  // Full whole-layer counter set (the fields above are the distilled
-  // figure metrics; this keeps everything for reports).
+  /// Full whole-layer counter set (the fields above are the distilled
+  /// figure metrics; this keeps everything for reports).
   SimStats stats;
 
-  // Per-phase counter deltas and the hybrid's per-region breakdown
-  // (hybrid_info.region_stats; zeroed for RWP/OP runs). The JSON run
-  // report serializes all of these.
-  SimStats combination_stats;
-  SimStats aggregation_stats;
-  HybridAggregationInfo hybrid_info;
+  /// Per-phase counter deltas and the hybrid's per-region breakdown
+  /// (hybrid_info.region_stats; zeroed for RWP/OP runs). The JSON run
+  /// report serializes all of these.
+  SimStats combination_stats;        ///< XW-phase counter delta
+  SimStats aggregation_stats;        ///< aggregation-phase counter delta
+  HybridAggregationInfo hybrid_info; ///< per-region stats (hybrid only)
 
+  /// How the tiling threshold was picked (tune.enabled=false means the
+  /// fixed config value was used). Filled by drivers, not by
+  /// run_experiment itself.
+  TuneInfo tune;
+
+  /// Wall-clock the modeled hardware would take at `clock_ghz`.
   double runtime_ms(double clock_ghz = 1.0) const {
     return static_cast<double>(cycles) / (clock_ghz * 1e6);
   }
 };
 
-// Everything one experiment needs, named instead of positional.
-// workload/a_hat/weights/reference are required and shared immutably
-// across flows (and, via the sweep executor's WorkloadCache, across
-// threads) to avoid rebuilding them. `observer` (optional) collects
-// metrics and trace events; it never affects timing. `sort` +
-// `sorted_features` optionally hand the hybrid its degree-sorting
-// preprocessing precomputed (see LayerRunRequest).
+/// Everything one experiment needs, named instead of positional.
+/// workload/a_hat/weights/reference are required and shared immutably
+/// across flows (and, via the sweep executor's WorkloadCache, across
+/// threads) to avoid rebuilding them. `observer` (optional) collects
+/// metrics and trace events; it never affects timing. `sort` +
+/// `sorted_features` optionally hand the hybrid its degree-sorting
+/// preprocessing precomputed (see LayerRunRequest).
 struct ExperimentRequest {
-  const GcnWorkload* workload = nullptr;
-  const CsrMatrix* a_hat = nullptr;
-  const DenseMatrix* weights = nullptr;
-  const DenseMatrix* reference = nullptr;  // golden aggregation output
-  Dataflow flow = Dataflow::kRowWiseProduct;
-  AcceleratorConfig config;
-  Observer* observer = nullptr;
-  const DegreeSortResult* sort = nullptr;
-  const CsrMatrix* sorted_features = nullptr;
+  const GcnWorkload* workload = nullptr;   ///< required: the input graph
+  const CsrMatrix* a_hat = nullptr;        ///< required: normalized adjacency
+  const DenseMatrix* weights = nullptr;    ///< required: layer weights
+  const DenseMatrix* reference = nullptr;  ///< golden aggregation output
+  Dataflow flow = Dataflow::kRowWiseProduct;  ///< dataflow to simulate
+  AcceleratorConfig config;                ///< hardware parameters
+  Observer* observer = nullptr;            ///< optional; never affects timing
+  const DegreeSortResult* sort = nullptr;  ///< optional precomputed sort
+  const CsrMatrix* sorted_features = nullptr;  ///< features under `sort`
 };
 
-// Simulates one GCN layer of the request's workload under its flow
-// and verifies the result against the golden reference.
+/// Simulates one GCN layer of the request's workload under its flow
+/// and verifies the result against the golden reference.
 ExperimentResult run_experiment(const ExperimentRequest& request);
 
-// Deprecated forwarding overload (kept for one PR while callers
-// migrate to ExperimentRequest; new code should build a request).
+/// Deprecated forwarding overload (kept for one PR while callers
+/// migrate to ExperimentRequest; new code should build a request).
 ExperimentResult run_experiment(const GcnWorkload& workload,
                                 const CsrMatrix& a_hat,
                                 const DenseMatrix& weights,
@@ -101,18 +138,20 @@ ExperimentResult run_experiment(const GcnWorkload& workload,
                                 const AcceleratorConfig& config,
                                 Observer* obs = nullptr);
 
+/// All requested dataflows simulated on one shared workload build.
 struct DataflowComparison {
-  DatasetSpec spec;  // post-scaling
-  double scale = 1.0;
-  std::vector<ExperimentResult> results;  // one per requested flow
+  DatasetSpec spec;    ///< post-scaling
+  double scale = 1.0;  ///< scale the workload was built at
+  std::vector<ExperimentResult> results;  ///< one per requested flow
 
+  /// The result for `flow`; aborts if it was not requested.
   const ExperimentResult& by_flow(Dataflow flow) const;
 };
 
-// Builds the dataset's synthetic workload once and runs every
-// requested dataflow on it. `scale < 0` selects default_scale(spec).
-// With an observer, each flow becomes its own trace process group
-// (labelled "<flow>/<abbrev>") in the shared trace file.
+/// Builds the dataset's synthetic workload once and runs every
+/// requested dataflow on it. `scale < 0` selects default_scale(spec).
+/// With an observer, each flow becomes its own trace process group
+/// (labelled "<flow>/<abbrev>") in the shared trace file.
 DataflowComparison compare_dataflows(
     const DatasetSpec& spec, const AcceleratorConfig& config,
     const std::vector<Dataflow>& flows =

@@ -1,13 +1,17 @@
 // Minimal JSON utilities for the observability layer: a streaming
-// writer (used by the trace emitter and the run-report writer) and a
+// writer (used by the trace emitter and the run-report writer), a
 // strict well-formedness checker (used by tests to validate emitted
-// documents). No external dependencies.
+// documents) and a small value parser (used by the tuning cache to
+// read its own persisted files back). No external dependencies.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace hymm {
@@ -19,6 +23,41 @@ std::string json_escape(std::string_view s);
 // Strict recursive-descent well-formedness check of a complete JSON
 // document (RFC 8259 values; no trailing garbage).
 bool json_is_valid(std::string_view text);
+
+// Parsed JSON value tree. Numbers are kept as doubles (every value
+// this repo persists — cycle counts included — fits a double's 53-bit
+// integer range; 64-bit hashes are persisted as hex *strings* for
+// exactly this reason). Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::vector<std::pair<std::string, JsonValue>> object_members;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member lookup (first match); nullptr when absent or when
+  // this value is not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed member accessors: the default when the member is absent or
+  // has the wrong type.
+  std::string get_string(std::string_view key,
+                         const std::string& fallback = {}) const;
+  double get_number(std::string_view key, double fallback = 0.0) const;
+};
+
+// Parses a complete JSON document (same strict grammar json_is_valid
+// accepts; \uXXXX escapes are decoded to UTF-8). nullopt on any
+// syntax error or trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 // Streaming writer for nested JSON documents. The caller drives
 // structure explicitly:

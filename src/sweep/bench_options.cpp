@@ -44,6 +44,16 @@ bool env_truthy(const char* value) {
   return value != nullptr && value[0] == '1';
 }
 
+AutotuneMode parse_autotune(const std::string& source,
+                            const std::string& value) {
+  const std::optional<AutotuneMode> mode = parse_autotune_mode(value);
+  if (!mode) {
+    throw UsageError("invalid value '" + value + "' for " + source +
+                     " (expected off, analytic or measured)");
+  }
+  return *mode;
+}
+
 }  // namespace
 
 double BenchOptions::scale_for(const DatasetSpec& spec) const {
@@ -71,6 +81,10 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
     options.threads = static_cast<unsigned>(
         parse_u64_value("HYMM_THREADS", v, 0, 4096));
   }
+  if (const char* v = env("HYMM_AUTOTUNE")) {
+    options.autotune = parse_autotune("HYMM_AUTOTUNE", v);
+  }
+  if (const char* v = env("HYMM_TUNE_CACHE")) options.tune_cache = v;
 
   // --- --key=value / --key value flags ---
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -103,6 +117,13 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
           parse_u64_value("--threads", next(), 0, 4096));
     } else if (arg == "--seed") {
       options.seed = parse_u64_value("--seed", next(), 0);
+    } else if (arg == "--autotune") {
+      // Value optional: bare --autotune means the full measured
+      // search (never consumes the following argument).
+      options.autotune = parse_autotune(
+          "--autotune", inline_value ? *inline_value : "measured");
+    } else if (arg == "--tune-cache") {
+      options.tune_cache = next();
     } else if (unrecognized != nullptr) {
       // Pass the flag through untouched (original spelling), plus any
       // following non-flag tokens that may be its values.

@@ -1,19 +1,25 @@
-// Unified bench configuration: the knobs every bench binary and
-// hymm_sim share, parsed once from the environment and --key=value
-// args instead of each binary re-reading getenv.
-//
-//   env                 flag               meaning
-//   HYMM_DATASETS       --datasets=CR,AP   subset of Table II workloads
-//   HYMM_FULL_DATASETS  --full-datasets    simulate FR/YP at full size
-//   HYMM_SCALE          --scale=0.1        scale override (0 < s <= 1)
-//   HYMM_TRACE_DIR      --trace-dir=DIR    Perfetto trace per dataset
-//   HYMM_JSON_DIR       --json-dir=DIR     JSON run report per dataset
-//   HYMM_THREADS        --threads=N        sweep workers (0 = auto)
-//                       --seed=N           workload seed (default 42)
-//
-// Flags accept "--flag value" and "--flag=value" and win over the
-// environment. Unknown dataset tokens and malformed numbers fail
-// fast with a UsageError naming the bad value — no silent fallback.
+/// @file
+/// Unified bench configuration: the knobs every bench binary and
+/// hymm_sim share, parsed once from the environment and --key=value
+/// args instead of each binary re-reading getenv.
+///
+///   env                 flag               meaning
+///   HYMM_DATASETS       --datasets=CR,AP   subset of Table II workloads
+///   HYMM_FULL_DATASETS  --full-datasets    simulate FR/YP at full size
+///   HYMM_SCALE          --scale=0.1        scale override (0 < s <= 1)
+///   HYMM_TRACE_DIR      --trace-dir=DIR    Perfetto trace per dataset
+///   HYMM_JSON_DIR       --json-dir=DIR     JSON run report per dataset
+///   HYMM_THREADS        --threads=N        sweep workers (0 = auto)
+///                       --seed=N           workload seed (default 42)
+///   HYMM_AUTOTUNE       --autotune[=MODE]  partition auto-tuner mode:
+///                                          off|analytic|measured (bare
+///                                          --autotune = measured)
+///   HYMM_TUNE_CACHE     --tune-cache=FILE  hymm-tune-cache/1 file the
+///                                          tuner persists decisions in
+///
+/// Flags accept "--flag value" and "--flag=value" and win over the
+/// environment. Unknown dataset tokens and malformed numbers fail
+/// fast with a UsageError naming the bad value — no silent fallback.
 #pragma once
 
 #include <cstdint>
@@ -22,44 +28,56 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/flags.hpp"
 #include "graph/datasets.hpp"
 
 namespace hymm {
 
+/// The bench/driver knobs shared by every binary, parsed once from
+/// HYMM_* environment variables and --key=value arguments. Flags win
+/// over the environment; every value is validated up front (a bad one
+/// throws UsageError naming it — no silent fallback).
 struct BenchOptions {
-  std::vector<DatasetSpec> datasets;  // resolved selection; never empty
-  // Whether the user narrowed the selection (HYMM_DATASETS or
-  // --datasets); binaries that default to a dataset subset honour an
-  // explicit selection instead.
+  std::vector<DatasetSpec> datasets;  ///< resolved selection; never empty
+  /// Whether the user narrowed the selection (HYMM_DATASETS or
+  /// --datasets); binaries that default to a dataset subset honour an
+  /// explicit selection instead.
   bool datasets_explicit = false;
-  std::optional<double> scale;        // nullopt = per-dataset default
-  bool full_datasets = false;
-  std::string trace_dir;
-  std::string json_dir;
-  unsigned threads = 0;               // 0 = HYMM_THREADS/auto
+  std::optional<double> scale;        ///< nullopt = per-dataset default
+  bool full_datasets = false;         ///< simulate FR/YP at full size
+  std::string trace_dir;              ///< Perfetto trace dir; empty = off
+  std::string json_dir;               ///< JSON report dir; empty = off
+  unsigned threads = 0;               ///< 0 = HYMM_THREADS/auto
   std::uint64_t seed = 42;
+  /// Partition auto-tuner (src/tune/): how hybrid cells pick their
+  /// tiling threshold. kOff keeps the config's fixed value.
+  AutotuneMode autotune = AutotuneMode::kOff;
+  /// Tune-cache file (hymm-tune-cache/1); empty = in-memory only.
+  std::string tune_cache;
 
-  // Effective scale for one dataset: the override, else 1.0 under
-  // --full-datasets, else the dataset's bench default.
+  /// Effective scale for one dataset: the override, else 1.0 under
+  /// --full-datasets, else the dataset's bench default.
   double scale_for(const DatasetSpec& spec) const;
+  /// True when any trace/report output was requested.
   bool observing() const {
     return !trace_dir.empty() || !json_dir.empty();
   }
 
+  /// getenv-shaped hook so tests can inject an environment.
   using EnvGetter = std::function<const char*(const char*)>;
 
-  // Testable core. Parses `args` (argv[1..]) and the HYMM_* variables
-  // via `env`; throws UsageError on any bad value. When `unrecognized`
-  // is non-null, flags this parser doesn't own (plus their would-be
-  // values) are passed through in order for the caller to handle;
-  // when null an unknown flag is an error.
+  /// Testable core. Parses `args` (argv[1..]) and the HYMM_* variables
+  /// via `env`; throws UsageError on any bad value. When `unrecognized`
+  /// is non-null, flags this parser doesn't own (plus their would-be
+  /// values) are passed through in order for the caller to handle;
+  /// when null an unknown flag is an error.
   static BenchOptions parse(const std::vector<std::string>& args,
                             const EnvGetter& env,
                             std::vector<std::string>* unrecognized = nullptr);
 
-  // main() entry point: ::getenv + argv; prints the UsageError to
-  // stderr and exits 2 on a bad flag or environment value.
+  /// main() entry point: ::getenv + argv; prints the UsageError to
+  /// stderr and exits 2 on a bad flag or environment value.
   static BenchOptions from_env_and_args(
       int argc, char** argv, std::vector<std::string>* unrecognized = nullptr);
 };

@@ -1,16 +1,17 @@
-// Parallel sweep executor: runs independent (dataset, scale,
-// dataflow, config, seed) simulation cells concurrently and
-// deterministically. A SweepSpec describes the grid, SweepRunner
-// schedules cells onto worker threads (HYMM_THREADS; 1 = the serial
-// path), and results come back in stable grid order with per-cell
-// cycles and counters bit-identical to a serial run regardless of
-// thread count — each cell simulates on private state, sharing only
-// the immutable PreparedWorkload from the WorkloadCache.
-//
-// Observability: observers are never shared across threads. Cells
-// mapping to the same group key share one Observer and run serially
-// in grid order on one worker (e.g. one trace file per dataset); by
-// default every cell is its own group, giving full parallelism.
+/// @file
+/// Parallel sweep executor: runs independent (dataset, scale,
+/// dataflow, config, seed) simulation cells concurrently and
+/// deterministically. A SweepSpec describes the grid, SweepRunner
+/// schedules cells onto worker threads (HYMM_THREADS; 1 = the serial
+/// path), and results come back in stable grid order with per-cell
+/// cycles and counters bit-identical to a serial run regardless of
+/// thread count — each cell simulates on private state, sharing only
+/// the immutable PreparedWorkload from the WorkloadCache.
+///
+/// Observability: observers are never shared across threads. Cells
+/// mapping to the same group key share one Observer and run serially
+/// in grid order on one worker (e.g. one trace file per dataset); by
+/// default every cell is its own group, giving full parallelism.
 #pragma once
 
 #include <cstdint>
@@ -27,90 +28,98 @@
 
 namespace hymm {
 
-// One point of the grid. `index` is the cell's position in stable
-// grid order (dataset-major, then config, then flow).
+/// One point of the grid. `index` is the cell's position in stable
+/// grid order (dataset-major, then config, then flow).
 struct SweepCell {
-  std::size_t index = 0;
-  DatasetSpec spec;                  // pre-scaling registry spec
-  double scale = 1.0;                // effective scale
-  std::uint64_t seed = 42;
-  std::size_t config_index = 0;      // position in SweepSpec::configs
-  AcceleratorConfig config;
-  Dataflow flow = Dataflow::kRowWiseProduct;
-  // Pre-built workload (set when the spec came from
-  // SweepSpec::workloads); null cells build through the cache.
+  std::size_t index = 0;             ///< position in stable grid order
+  DatasetSpec spec;                  ///< pre-scaling registry spec
+  double scale = 1.0;                ///< effective scale
+  std::uint64_t seed = 42;           ///< workload seed
+  std::size_t config_index = 0;      ///< position in SweepSpec::configs
+  AcceleratorConfig config;          ///< hardware parameters for this cell
+  Dataflow flow = Dataflow::kRowWiseProduct;  ///< dataflow for this cell
+  /// Pre-built workload (set when the spec came from
+  /// SweepSpec::workloads); null cells build through the cache.
   std::shared_ptr<const PreparedWorkload> prepared;
 };
 
-// The grid: datasets x configs x flows at one (scale, seed). The
-// workload axis is either registry specs (built and cached on
-// demand) or pre-built workloads (e.g. loaded from an edge list);
-// when both are given the prepared workloads follow the specs.
+/// The grid: datasets x configs x flows at one (scale, seed). The
+/// workload axis is either registry specs (built and cached on
+/// demand) or pre-built workloads (e.g. loaded from an edge list);
+/// when both are given the prepared workloads follow the specs.
 struct SweepSpec {
-  std::vector<DatasetSpec> datasets;
-  std::vector<std::shared_ptr<const PreparedWorkload>> workloads;
-  std::vector<AcceleratorConfig> configs = {AcceleratorConfig{}};
+  std::vector<DatasetSpec> datasets;  ///< registry workload axis
+  std::vector<std::shared_ptr<const PreparedWorkload>> workloads;  ///< pre-built workload axis
+  std::vector<AcceleratorConfig> configs = {AcceleratorConfig{}};  ///< config axis
+  /// Dataflow axis; defaults to all three.
   std::vector<Dataflow> flows = {Dataflow::kOuterProduct,
                                  Dataflow::kRowWiseProduct,
                                  Dataflow::kHybrid};
-  // Scale applied to every dataset; nullopt selects each dataset's
-  // default_scale. Ignored for pre-built workloads.
+  /// Scale applied to every dataset; nullopt selects each dataset's
+  /// default_scale. Ignored for pre-built workloads.
   std::optional<double> scale;
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42;  ///< workload seed for every cell
 
-  // Expands the grid in stable order (dataset-major, config, flow).
+  /// Expands the grid in stable order (dataset-major, config, flow).
   std::vector<SweepCell> cells() const;
 };
 
+/// One cell plus its simulation outcome.
 struct SweepCellResult {
-  SweepCell cell;
-  DatasetSpec scaled_spec;  // post-scaling spec (workload.spec)
-  ExperimentResult result;
+  SweepCell cell;           ///< the grid point that produced this
+  DatasetSpec scaled_spec;  ///< post-scaling spec (workload.spec)
+  ExperimentResult result;  ///< the simulated metrics
 };
 
-// Cells that shared one Observer (ran serially on one worker), in
-// grid order of their first cell. `observer` is null unless
-// SweepOptions::observe was set.
+/// Cells that shared one Observer (ran serially on one worker), in
+/// grid order of their first cell. `observer` is null unless
+/// SweepOptions::observe was set.
 struct SweepGroup {
-  std::string key;
-  std::vector<std::size_t> cells;  // indices into SweepRun::cells
-  std::shared_ptr<Observer> observer;
+  std::string key;                 ///< the group_key the cells mapped to
+  std::vector<std::size_t> cells;  ///< indices into SweepRun::cells
+  std::shared_ptr<Observer> observer;  ///< shared instrument; may be null
 };
 
+/// Everything a sweep produced.
 struct SweepRun {
-  std::vector<SweepCellResult> cells;  // stable grid order
-  std::vector<SweepGroup> groups;
+  std::vector<SweepCellResult> cells;  ///< stable grid order
+  std::vector<SweepGroup> groups;      ///< observer/serialization groups
 };
 
+/// Execution knobs for SweepRunner.
 struct SweepOptions {
-  // Worker threads. 0 = auto: HYMM_THREADS when set (validated;
-  // UsageError on garbage), else std::thread::hardware_concurrency.
-  // 1 runs everything on the calling thread (today's serial path).
+  /// Worker threads. 0 = auto: HYMM_THREADS when set (validated;
+  /// UsageError on garbage), else std::thread::hardware_concurrency.
+  /// 1 runs everything on the calling thread (today's serial path).
   unsigned threads = 0;
-  // Create one Observer per group (metrics + optional trace).
+  /// Create one Observer per group (metrics + optional trace).
   bool observe = false;
-  ObserverOptions observer_options;
-  // Maps a cell to its observer/serialization group; cells with equal
-  // keys run serially in grid order sharing one Observer. Default:
-  // every cell is its own group.
+  ObserverOptions observer_options;  ///< instruments for each group observer
+  /// Maps a cell to its observer/serialization group; cells with equal
+  /// keys run serially in grid order sharing one Observer. Default:
+  /// every cell is its own group.
   std::function<std::string(const SweepCell&)> group_key;
-  // Called (under a lock, from worker threads, in completion order)
-  // when a group starts simulating — progress reporting.
+  /// Called (under a lock, from worker threads, in completion order)
+  /// when a group starts simulating — progress reporting.
   std::function<void(const SweepCell& first_cell)> on_group_start;
 };
 
-// Resolves a requested thread count: 0 = HYMM_THREADS env (strictly
-// validated) falling back to hardware_concurrency; always >= 1.
+/// Resolves a requested thread count: 0 = HYMM_THREADS env (strictly
+/// validated) falling back to hardware_concurrency; always >= 1.
 unsigned resolve_thread_count(unsigned requested);
 
+/// Schedules a SweepSpec grid onto worker threads (see file comment
+/// for the determinism and observer-group rules).
 class SweepRunner {
  public:
+  /// Captures the options; threads spin up per run() call.
   explicit SweepRunner(SweepOptions options = {});
 
-  // Runs every cell of the grid; returns when all cells finished.
-  // Worker exceptions are rethrown on the calling thread.
+  /// Runs every cell of the grid; returns when all cells finished.
+  /// Worker exceptions are rethrown on the calling thread.
   SweepRun run(const SweepSpec& spec);
 
+  /// The cache workloads are built through (shared across run()s).
   WorkloadCache& cache() { return cache_; }
 
  private:

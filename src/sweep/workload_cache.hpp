@@ -1,9 +1,10 @@
-// Shared, immutable workload state for sweeps. Every (spec, scale,
-// seed) cell of a sweep needs the same synthetic workload, normalized
-// adjacency, weight matrix, golden reference and (for the hybrid)
-// degree sort — building them once and sharing them read-only across
-// worker threads is what makes a dataset x dataflow x config grid
-// cheap. See DESIGN.md "Sweep executor".
+/// @file
+/// Shared, immutable workload state for sweeps. Every (spec, scale,
+/// seed) cell of a sweep needs the same synthetic workload, normalized
+/// adjacency, weight matrix, golden reference and (for the hybrid)
+/// degree sort — building them once and sharing them read-only across
+/// worker threads is what makes a dataset x dataflow x config grid
+/// cheap. See DESIGN.md "Sweep executor".
 #pragma once
 
 #include <atomic>
@@ -19,32 +20,32 @@
 
 namespace hymm {
 
-// One fully-built workload, immutable after construction (the lazy
-// degree sort is internally synchronized). Always held by shared_ptr
-// so concurrent sweep cells can alias it safely.
+/// One fully-built workload, immutable after construction (the lazy
+/// degree sort is internally synchronized). Always held by shared_ptr
+/// so concurrent sweep cells can alias it safely.
 class PreparedWorkload {
  public:
-  // Builds the synthetic workload for a registry spec.
+  /// Builds the synthetic workload for a registry spec.
   PreparedWorkload(const DatasetSpec& spec, double scale,
                    std::uint64_t seed);
-  // Wraps an externally-built workload (e.g. loaded from an edge
-  // list); computes a_hat, weights and the golden reference from it.
+  /// Wraps an externally-built workload (e.g. loaded from an edge
+  /// list); computes a_hat, weights and the golden reference from it.
   PreparedWorkload(GcnWorkload workload, std::uint64_t seed);
 
-  PreparedWorkload(const PreparedWorkload&) = delete;
-  PreparedWorkload& operator=(const PreparedWorkload&) = delete;
+  PreparedWorkload(const PreparedWorkload&) = delete;  ///< not copyable: alias via shared_ptr
+  PreparedWorkload& operator=(const PreparedWorkload&) = delete;  ///< not copyable
 
-  const GcnWorkload& workload() const { return workload_; }
-  const CsrMatrix& a_hat() const { return a_hat_; }
-  const DenseMatrix& weights() const { return weights_; }
-  // Golden pre-activation layer output (the verification reference).
+  const GcnWorkload& workload() const { return workload_; }  ///< the input graph + features
+  const CsrMatrix& a_hat() const { return a_hat_; }           ///< normalized adjacency
+  const DenseMatrix& weights() const { return weights_; }     ///< seed-derived layer weights
+  /// Golden pre-activation layer output (the verification reference).
   const DenseMatrix& reference() const { return golden_.aggregation; }
-  const GcnLayerResult& golden() const { return golden_; }
-  std::uint64_t seed() const { return seed_; }
+  const GcnLayerResult& golden() const { return golden_; }    ///< full golden layer result
+  std::uint64_t seed() const { return seed_; }                ///< seed the build used
 
-  // The hybrid's degree-sorting preprocessing, built on first use
-  // (homogeneous-only sweeps never pay for it) and thread-safe:
-  // concurrent callers block until the single build finishes.
+  /// The hybrid's degree-sorting preprocessing, built on first use
+  /// (homogeneous-only sweeps never pay for it) and thread-safe:
+  /// concurrent callers block until the single build finishes.
   const DegreeSortResult& sort() const;
   const CsrMatrix& sorted_features() const;
 
@@ -62,19 +63,21 @@ class PreparedWorkload {
   mutable CsrMatrix sorted_features_;
 };
 
-// Thread-safe cache of PreparedWorkloads keyed on (spec, scale,
-// seed): concurrent get() calls for the same key block on one build
-// (never duplicate it) and share the result immutably.
+/// Thread-safe cache of PreparedWorkloads keyed on (spec, scale,
+/// seed): concurrent get() calls for the same key block on one build
+/// (never duplicate it) and share the result immutably.
 class WorkloadCache {
  public:
+  /// The workload for (spec, scale, seed), building it exactly once.
   std::shared_ptr<const PreparedWorkload> get(const DatasetSpec& spec,
                                               double scale,
                                               std::uint64_t seed);
 
-  // Number of workloads actually built (for tests: stays 1 per key no
-  // matter how many threads ask).
+  /// Number of workloads actually built (for tests: stays 1 per key no
+  /// matter how many threads ask).
   std::size_t build_count() const { return builds_.load(); }
 
+  /// The cache key get() files a workload under.
   static std::string key_of(const DatasetSpec& spec, double scale,
                             std::uint64_t seed);
 

@@ -1,4 +1,4 @@
-// Event-driven fast-forward acceptance suite (DESIGN.md 5f).
+// Event-driven fast-forward acceptance suite (docs/architecture.md).
 //
 // The tentpole guarantee: with cycle-skipping enabled the simulator
 // produces *bit-identical* timing results — cycles, the full

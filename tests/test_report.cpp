@@ -132,7 +132,7 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   const std::string doc = out.str();
   ASSERT_TRUE(json_is_valid(doc)) << doc;
 
-  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/3\""),
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/4\""),
             std::string::npos);
   const auto expect_field = [&doc](const std::string& key,
                                    std::uint64_t value) {
@@ -174,6 +174,35 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   EXPECT_NE(doc.find("\"regions\""), std::string::npos);
   // Derived ratios are numbers, not NaN (JSON has no NaN).
   EXPECT_EQ(doc.find("nan"), std::string::npos);
+  // Schema /4: no "tune" object unless a tuner actually ran.
+  EXPECT_EQ(doc.find("\"tune\""), std::string::npos);
+}
+
+TEST(ResultsJson, TunedResultCarriesTheDecision) {
+  ExperimentResult r = make_result();
+  r.tune.enabled = true;
+  r.tune.mode = "measured";
+  r.tune.fixed_threshold = 0.20;
+  r.tune.threshold = 0.05;
+  r.tune.cache_hit = false;
+  r.tune.simulations = 8;
+  r.tune.graph_fingerprint = "0x0123456789abcdef";
+  r.tune.config_hash = "0xfedcba9876543210";
+  r.tune.candidates.push_back({0.05, 61000.0, 60911.0});
+  r.tune.candidates.push_back({0.20, 61500.0, 61230.0});
+  std::vector<ExperimentResult> results = {r};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"tune\""), std::string::npos);
+  EXPECT_NE(doc.find("\"mode\": \"measured\""), std::string::npos);
+  EXPECT_NE(doc.find("\"fixed_threshold\": 0.2"), std::string::npos);
+  EXPECT_NE(doc.find("\"simulations\": 8"), std::string::npos);
+  EXPECT_NE(doc.find("\"graph_fingerprint\": \"0x0123456789abcdef\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"candidates\""), std::string::npos);
+  EXPECT_NE(doc.find("\"measured_cycles\": 60911"), std::string::npos);
 }
 
 TEST(ResultsJson, NonHybridOmitsPartitionAndRegions) {

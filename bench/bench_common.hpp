@@ -120,6 +120,11 @@ inline std::vector<std::vector<DataflowComparison>> run_config_sweep(
   sweep_options.threads = opts.threads;
   sweep_options.observe = opts.observing();
   sweep_options.observer_options.trace = !opts.trace_dir.empty();
+  sweep_options.observer_options.timeseries = opts.timeseries_interval > 0;
+  if (opts.timeseries_interval > 0) {
+    sweep_options.observer_options.timeseries_interval =
+        opts.timeseries_interval;
+  }
   // One group per (dataset, config): its flows share one observer and
   // run serially, so each trace/report file covers one comparison.
   sweep_options.group_key = [](const SweepCell& cell) {
@@ -210,6 +215,12 @@ inline std::vector<DataflowComparison> run_autotuned_datasets(
     sweep_options.threads = opts.threads;
     sweep_options.observe = opts.observing();
     sweep_options.observer_options.trace = !opts.trace_dir.empty();
+    sweep_options.observer_options.timeseries =
+        opts.timeseries_interval > 0;
+    if (opts.timeseries_interval > 0) {
+      sweep_options.observer_options.timeseries_interval =
+          opts.timeseries_interval;
+    }
     sweep_options.group_key = [](const SweepCell&) {
       return std::string("all");
     };

@@ -51,10 +51,30 @@ int main(int argc, char** argv) {
           ? bench::run_datasets(opts)
           : bench::run_autotuned_datasets(opts);
 
+  const auto write_stalls = [](JsonWriter& w, const SimStats& s) {
+    w.key("stalls");
+    w.begin_object();
+    for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+      w.field(stall_cause_key(static_cast<StallCause>(i)),
+              std::uint64_t{s.stall_cycles[i]});
+    }
+    w.end_object();
+  };
+  // Schema /2 adds the per-phase {cycles, stalls} breakdown (and the
+  // hybrid's per-region split) so hymm_diff can attribute a cycle
+  // delta between two snapshots to (phase, stall cause).
+  const auto write_phase = [&](JsonWriter& w, Cycle cycles,
+                               const SimStats& s) {
+    w.begin_object();
+    w.field("cycles", std::uint64_t{cycles});
+    write_stalls(w, s);
+    w.end_object();
+  };
+
   std::ofstream out(out_path);
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-bench/1");
+  w.field("schema", "hymm-bench/2");
   w.field("rev", rev);
   w.key("runs");
   w.begin_array();
@@ -81,6 +101,18 @@ int main(int argc, char** argv) {
       w.end_object();
       w.field("bottleneck", to_string(r.stats.bottleneck()));
       w.field("verified", r.verified);
+      w.key("combination");
+      write_phase(w, r.combination_cycles, r.combination_stats);
+      w.key("aggregation");
+      write_phase(w, r.aggregation_cycles, r.aggregation_stats);
+      if (r.flow == Dataflow::kHybrid) {
+        w.key("regions");
+        w.begin_array();
+        for (const SimStats& region : r.hybrid_info.region_stats) {
+          write_phase(w, region.stall_total(), region);
+        }
+        w.end_array();
+      }
       w.end_object();
     }
   }

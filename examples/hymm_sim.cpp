@@ -16,6 +16,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -57,7 +58,9 @@ void usage() {
       "Observability (see DESIGN.md \"Observability\"):\n"
       "  --trace <file>       Chrome/Perfetto trace of the run(s)\n"
       "  --json <file>        JSON run report (full counter set)\n"
-      "  --sample-interval <cycles>  counter-track sampling period\n";
+      "  --sample-interval <cycles>  counter-track sampling period\n"
+      "  --timeseries[=N]     windowed telemetry every N cycles\n"
+      "                       (bare = 256; also HYMM_TIMESERIES)\n";
 }
 
 std::optional<Dataflow> parse_flow(const std::string& s) {
@@ -206,13 +209,19 @@ int main(int argc, char** argv) {
   sweep_spec.flows = flows;
   sweep_spec.seed = opts.seed;
 
-  const bool observing =
-      !config.trace_path.empty() || !config.json_path.empty();
+  const bool observing = !config.trace_path.empty() ||
+                         !config.json_path.empty() ||
+                         opts.timeseries_interval > 0;
   SweepOptions sweep_options;
   sweep_options.threads = opts.threads;
   sweep_options.observe = observing;
   sweep_options.observer_options.trace = !config.trace_path.empty();
   sweep_options.observer_options.sample_interval = config.obs_sample_interval;
+  sweep_options.observer_options.timeseries = opts.timeseries_interval > 0;
+  if (opts.timeseries_interval > 0) {
+    sweep_options.observer_options.timeseries_interval =
+        opts.timeseries_interval;
+  }
   if (observing) {
     // One observer for every flow: each run becomes its own trace
     // process group and the metrics registry aggregates across runs.
@@ -235,6 +244,23 @@ int main(int argc, char** argv) {
               << ", max err " << r.max_abs_err << ")\n";
     print_stats_summary(r.stats, std::cout, "  ",
                         r.dram_peak_bytes_per_cycle);
+    if (!r.histograms.empty()) {
+      const auto quantiles = [](const LogHistogram& h) {
+        std::ostringstream oss;
+        oss << "p50=" << h.quantile(0.5) << " p90=" << h.quantile(0.9)
+            << " p99=" << h.quantile(0.99) << " max=" << h.max() << " ("
+            << h.count() << " samples)";
+        return oss.str();
+      };
+      std::cout << "  load latency:    "
+                << quantiles(r.histograms.lsq_load_latency) << '\n'
+                << "  DRAM latency:    "
+                << quantiles(r.histograms.dram_read_latency) << '\n';
+    }
+    if (!r.timeseries.empty()) {
+      std::cout << "  timeseries:      " << r.timeseries.samples.size()
+                << " samples @ " << r.timeseries.interval << " cycles\n";
+    }
     std::cout << '\n';
     results.push_back(r);
   }

@@ -74,7 +74,28 @@ void MemorySystem::tick_components() {
                         smq_.backlog(), stats_.stall_cycles);
     obs_next_sample_ = now_ + obs_->sample_interval();
   }
+  if (obs_ != nullptr && obs_->timeseries_enabled() &&
+      now_ >= obs_->timeseries().next_due()) {
+    obs_->timeseries_record(timeseries_sample());
+  }
 #endif
+}
+
+TimeSeriesSample MemorySystem::timeseries_sample() const {
+  TimeSeriesSample s;
+  s.cycle = now_;
+  s.lsq_depth = lsq_.pending_loads() + lsq_.pending_stores();
+  s.smq_backlog = smq_.backlog();
+  s.dmb_lines = dmb_.resident_lines();
+  s.partial_bytes = stats_.partial_bytes_now;
+  s.dmb_hits = stats_.dmb_read_hits + stats_.dmb_accumulate_hits;
+  s.dmb_misses = stats_.dmb_read_misses + stats_.dmb_accumulate_misses;
+  s.dram_bytes = stats_.dram_total_bytes();
+  s.alu_busy_cycles = stats_.alu_busy_cycles;
+  s.mac_ops = stats_.mac_ops;
+  s.stall_cycles = stats_.stall_cycles;
+  s.dram_peak_bytes_per_cycle = config_.dram_bytes_per_cycle;
+  return s;
 }
 
 void MemorySystem::sample_observer() {
@@ -84,6 +105,12 @@ void MemorySystem::sample_observer() {
                       lsq_.pending_loads() + lsq_.pending_stores(),
                       smq_.backlog(), stats_.stall_cycles);
   obs_next_sample_ = now_ + obs_->sample_interval();
+  // End-of-phase time-series sample: run_phase calls this at the same
+  // cycle under every fast-forward mode, so forcing here preserves
+  // bit-identity.
+  if (obs_->timeseries_enabled()) {
+    obs_->timeseries_force(timeseries_sample());
+  }
 #endif
 }
 
@@ -113,6 +140,24 @@ void MemorySystem::fast_forward_to(Cycle target, StallCause cause) {
     const Cycle interval = obs_->sample_interval();
     obs_next_sample_ +=
         interval * ((target - 1 - obs_next_sample_) / interval + 1);
+  }
+  // Replay every due time-series sample inside the skipped span with
+  // the exact values the legacy loop would have seen. Across a
+  // quiescent span only the charged stall bucket moves (one cycle per
+  // cycle); a legacy sample at cycle c reads accounting through c-1,
+  // and the post-bulk vector holds accounting through target-1, so the
+  // charged bucket at c is the current value minus (target - c).
+  if (obs_ != nullptr && obs_->timeseries_enabled() &&
+      obs_->timeseries().next_due() <= target - 1) {
+    TimeSeriesSample s = timeseries_sample();
+    const auto ci = static_cast<std::size_t>(cause);
+    const Cycle charged = stats_.stall_cycles[ci];
+    while (obs_->timeseries().next_due() <= target - 1) {
+      const Cycle c = obs_->timeseries().next_due();
+      s.cycle = c;
+      s.stall_cycles[ci] = charged - (target - c);
+      obs_->timeseries_record(s);
+    }
   }
 #endif
   now_ = target;

@@ -94,6 +94,12 @@ class MemorySystem {
   // Reads state only; never advances or mutates the simulation.
   void sample_observer();
 
+  // Snapshot of the current component state for the windowed
+  // time-series (obs/timeseries.hpp). Pure read; the sampler calls it
+  // at due cycles and the fast-forward replay derives skipped-span
+  // samples from it.
+  TimeSeriesSample timeseries_sample() const;
+
   // Advances to the next cycle.
   void advance() { ++now_; }
 

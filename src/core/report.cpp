@@ -108,7 +108,11 @@ void write_results_csv(std::span<const ExperimentResult> results,
   for (std::size_t i = 0; i < kStallCauseCount; ++i) {
     out << ",stall_" << stall_cause_key(static_cast<StallCause>(i));
   }
-  out << ",bottleneck,dram_bw_utilization\n";
+  out << ",bottleneck,dram_bw_utilization";
+  // Latency quantiles (obs/histogram.hpp); all zero when the run had
+  // no observer attached.
+  out << ",lsq_lat_p50,lsq_lat_p99,lsq_lat_max"
+         ",dram_lat_p50,dram_lat_p99,dram_lat_max\n";
   for (const ExperimentResult& r : results) {
     out << csv_quote(r.abbrev) << ',' << r.scale << ','
         << csv_quote(to_string(r.flow)) << ',' << r.cycles << ','
@@ -124,7 +128,12 @@ void write_results_csv(std::span<const ExperimentResult> results,
       out << ',' << r.stats.stall_cycles[i];
     }
     out << ',' << csv_quote(to_string(r.stats.bottleneck())) << ','
-        << r.dram_bw_utilization() << '\n';
+        << r.dram_bw_utilization();
+    const LogHistogram& lsq = r.histograms.lsq_load_latency;
+    const LogHistogram& dram = r.histograms.dram_read_latency;
+    out << ',' << lsq.quantile(0.5) << ',' << lsq.quantile(0.99) << ','
+        << lsq.max() << ',' << dram.quantile(0.5) << ','
+        << dram.quantile(0.99) << ',' << dram.max() << '\n';
   }
 }
 
@@ -201,6 +210,75 @@ void write_tune_json(JsonWriter& w, const TuneInfo& t) {
   w.end_object();
 }
 
+// Schema /5: bounded-error quantile summary of one latency/duration
+// histogram (docs/schemas.md "histograms").
+void write_histogram_json(JsonWriter& w, const LogHistogram& h) {
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("min", h.min());
+  w.field("max", h.max());
+  w.field("mean", h.mean());
+  w.field("p50", h.quantile(0.5));
+  w.field("p90", h.quantile(0.9));
+  w.field("p99", h.quantile(0.99));
+  w.end_object();
+}
+
+void write_histograms_json(JsonWriter& w, const RunHistograms& h) {
+  w.begin_object();
+  w.key("lsq_load_latency");
+  write_histogram_json(w, h.lsq_load_latency);
+  w.key("dram_read_latency");
+  write_histogram_json(w, h.dram_read_latency);
+  w.key("dmb_fill_latency");
+  write_histogram_json(w, h.dmb_fill_latency);
+  w.key("phase_cycles");
+  write_histogram_json(w, h.phase_cycles);
+  w.end_object();
+}
+
+// Schema /5: the windowed time-series as parallel column arrays (one
+// entry per sample), compact and trivially plottable.
+void write_timeseries_json(JsonWriter& w, const TimeSeriesData& ts) {
+  w.begin_object();
+  w.field("interval", std::uint64_t{ts.interval});
+  const auto column = [&](std::string_view name, auto&& get) {
+    w.key(name);
+    w.begin_array();
+    for (const TimeSeriesSample& s : ts.samples) {
+      w.value(std::uint64_t{get(s)});
+    }
+    w.end_array();
+  };
+  column("cycle", [](const TimeSeriesSample& s) { return s.cycle; });
+  column("lsq_depth", [](const TimeSeriesSample& s) { return s.lsq_depth; });
+  column("smq_backlog",
+         [](const TimeSeriesSample& s) { return s.smq_backlog; });
+  column("dmb_lines", [](const TimeSeriesSample& s) { return s.dmb_lines; });
+  column("partial_bytes",
+         [](const TimeSeriesSample& s) { return s.partial_bytes; });
+  column("dmb_hits", [](const TimeSeriesSample& s) { return s.dmb_hits; });
+  column("dmb_misses",
+         [](const TimeSeriesSample& s) { return s.dmb_misses; });
+  column("dram_bytes",
+         [](const TimeSeriesSample& s) { return s.dram_bytes; });
+  column("alu_busy_cycles",
+         [](const TimeSeriesSample& s) { return s.alu_busy_cycles; });
+  column("mac_ops", [](const TimeSeriesSample& s) { return s.mac_ops; });
+  w.key("stalls");
+  w.begin_object();
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    w.key(stall_cause_key(static_cast<StallCause>(i)));
+    w.begin_array();
+    for (const TimeSeriesSample& s : ts.samples) {
+      w.value(std::uint64_t{s.stall_cycles[i]});
+    }
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
 void write_partition_json(JsonWriter& w, const RegionPartition& p) {
   w.begin_object();
   w.field("nodes", std::uint64_t{p.nodes});
@@ -220,7 +298,7 @@ void write_results_json(std::span<const ExperimentResult> results,
                         const TraceWriter* trace) {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-run-report/4");
+  w.field("schema", "hymm-run-report/5");
   w.key("results");
   w.begin_array();
   for (const ExperimentResult& r : results) {
@@ -259,6 +337,14 @@ void write_results_json(std::span<const ExperimentResult> results,
         write_stats_json(w, region);
       }
       w.end_array();
+    }
+    if (!r.histograms.empty()) {
+      w.key("histograms");
+      write_histograms_json(w, r.histograms);
+    }
+    if (!r.timeseries.empty()) {
+      w.key("timeseries");
+      write_timeseries_json(w, r.timeseries);
     }
     w.end_object();
   }

@@ -55,25 +55,13 @@ ExperimentResult run_experiment(const ExperimentRequest& request) {
       DenseMatrix::max_abs_diff(layer.output, reference_output);
   r.verified = DenseMatrix::allclose(layer.output, reference_output,
                                      /*rtol=*/1e-3, /*atol=*/1e-4);
+  if (request.observer != nullptr) {
+    r.histograms = request.observer->take_run_histograms();
+    if (request.observer->timeseries_enabled()) {
+      r.timeseries = request.observer->take_timeseries();
+    }
+  }
   return r;
-}
-
-ExperimentResult run_experiment(const GcnWorkload& workload,
-                                const CsrMatrix& a_hat,
-                                const DenseMatrix& weights,
-                                const DenseMatrix& reference_output,
-                                Dataflow flow,
-                                const AcceleratorConfig& config,
-                                Observer* obs) {
-  ExperimentRequest request;
-  request.workload = &workload;
-  request.a_hat = &a_hat;
-  request.weights = &weights;
-  request.reference = &reference_output;
-  request.flow = flow;
-  request.config = config;
-  request.observer = obs;
-  return run_experiment(request);
 }
 
 const ExperimentResult& DataflowComparison::by_flow(Dataflow flow) const {

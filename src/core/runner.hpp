@@ -12,6 +12,8 @@
 #include "core/accelerator.hpp"
 #include "graph/datasets.hpp"
 #include "linalg/gcn.hpp"
+#include "obs/histogram.hpp"
+#include "obs/timeseries.hpp"
 
 /// Everything in the HyMM reproduction — simulator, graph pipeline,
 /// sweep harness and auto-tuner — lives in this namespace.
@@ -99,6 +101,17 @@ struct ExperimentResult {
   /// run_experiment itself.
   TuneInfo tune;
 
+  /// Per-run latency/duration histograms (obs/histogram.hpp), taken
+  /// from the request's observer after the layer ran. Empty when the
+  /// request had no observer.
+  RunHistograms histograms;
+
+  /// Windowed time-series telemetry (obs/timeseries.hpp), taken from
+  /// the request's observer. Empty unless the observer was built with
+  /// ObserverOptions::timeseries (the --timeseries / HYMM_TIMESERIES
+  /// knob). Serialized in the run report (hymm-run-report/5).
+  TimeSeriesData timeseries;
+
   /// Wall-clock the modeled hardware would take at `clock_ghz`.
   double runtime_ms(double clock_ghz = 1.0) const {
     return static_cast<double>(cycles) / (clock_ghz * 1e6);
@@ -127,16 +140,6 @@ struct ExperimentRequest {
 /// Simulates one GCN layer of the request's workload under its flow
 /// and verifies the result against the golden reference.
 ExperimentResult run_experiment(const ExperimentRequest& request);
-
-/// Deprecated forwarding overload (kept for one PR while callers
-/// migrate to ExperimentRequest; new code should build a request).
-ExperimentResult run_experiment(const GcnWorkload& workload,
-                                const CsrMatrix& a_hat,
-                                const DenseMatrix& weights,
-                                const DenseMatrix& reference_output,
-                                Dataflow flow,
-                                const AcceleratorConfig& config,
-                                Observer* obs = nullptr);
 
 /// All requested dataflows simulated on one shared workload build.
 struct DataflowComparison {

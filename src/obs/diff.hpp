@@ -1,0 +1,97 @@
+// Run-diff root-cause analysis (the hymm_diff tool, bench/hymm_diff):
+// loads two run reports — hymm-run-report/4 or /5, or hymm-bench/1 or
+// /2 snapshots — pairs their runs by (abbrev, flow) and attributes
+// each pair's cycle delta to (phase-or-region x stall bucket). The
+// per-phase stall vectors sum exactly to the per-phase cycle counts
+// (the simulator's cycle-accounting invariant), so the attribution
+// rows sum exactly to the cycle delta: no residual bucket, no
+// estimate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hymm {
+
+struct JsonValue;
+
+// One phase (or hybrid region) of a run with its stall breakdown.
+// `cycles` is the sum of the stall buckets, which per-phase equals
+// the simulated cycle count by the accounting invariant.
+struct PhaseBreakdown {
+  std::string name;  ///< "combination", "aggregation", "region1", "total"
+  double cycles = 0.0;
+  std::map<std::string, double> stalls;  ///< stall-cause key -> cycles
+};
+
+// One (dataset, dataflow) run normalized out of either report kind.
+struct RunSnapshot {
+  std::string abbrev;
+  std::string flow;
+  double cycles = 0.0;
+  double sim_wall_ms = 0.0;
+  double skipped_cycles = 0.0;
+  std::vector<PhaseBreakdown> phases;
+};
+
+// A parsed + normalized report. `kind` is "run-report" or "bench";
+// diffing requires the same kind on both sides (any supported
+// version).
+struct ReportSnapshot {
+  std::string schema;
+  std::string kind;
+  std::vector<RunSnapshot> runs;
+};
+
+// Normalizes a parsed JSON document. For run reports, a hybrid run's
+// aggregation phase is replaced by its per-region split when regions
+// are present (the regions sum exactly to the aggregation phase); a
+// bench/1 snapshot becomes a single "total" phase. Returns nullopt
+// and fills *error on an unsupported schema or malformed document.
+std::optional<ReportSnapshot> normalize_report(const JsonValue& doc,
+                                               std::string* error);
+
+// Convenience: read + parse + normalize a report file.
+std::optional<ReportSnapshot> load_report(const std::string& path,
+                                          std::string* error);
+
+// One attribution row of a run pair's diff.
+struct DiffRow {
+  std::string phase;  ///< phase or region name
+  std::string cause;  ///< stall-cause key
+  double base = 0.0;
+  double current = 0.0;
+  double delta = 0.0;  ///< current - base
+};
+
+// The diff of one (abbrev, flow) pair present in both reports.
+struct RunDiff {
+  std::string abbrev;
+  std::string flow;
+  double base_cycles = 0.0;
+  double current_cycles = 0.0;
+  double sim_wall_ms_delta = 0.0;
+  double skipped_cycles_delta = 0.0;
+  std::vector<DiffRow> rows;  ///< ranked by |delta|, largest first
+
+  double cycle_delta() const { return current_cycles - base_cycles; }
+};
+
+// Pairs runs by (abbrev, flow) and builds the ranked attribution rows
+// for each pair. Runs present in only one report are skipped (the
+// printer reports them).
+std::vector<RunDiff> diff_reports(const ReportSnapshot& base,
+                                  const ReportSnapshot& current);
+
+// Prints the ranked root-cause table for every diffed run: one row
+// per (phase, stall cause) with base/current cycles, the delta and
+// its share of the total cycle delta. `max_rows` caps the rows shown
+// per run (0 = all).
+void print_diff(const std::vector<RunDiff>& diffs, std::ostream& out,
+                std::size_t max_rows = 10);
+
+}  // namespace hymm

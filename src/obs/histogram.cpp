@@ -1,0 +1,97 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+std::size_t LogHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Octave e = floor(log2(value)) >= kSubBucketBits; the top
+  // kSubBucketBits+1 bits select one of kSubBuckets buckets whose
+  // width is 2^(e - kSubBucketBits).
+  const unsigned e = std::bit_width(value) - 1;
+  const unsigned shift = e - kSubBucketBits;
+  return static_cast<std::size_t>((value >> shift) + shift * kSubBuckets);
+}
+
+std::uint64_t LogHistogram::bucket_lower(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const unsigned shift =
+      static_cast<unsigned>(index / kSubBuckets) - 1;
+  return (static_cast<std::uint64_t>(index) - shift * kSubBuckets) << shift;
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const unsigned shift =
+      static_cast<unsigned>(index / kSubBuckets) - 1;
+  return bucket_lower(index) + ((std::uint64_t{1} << shift) - 1);
+}
+
+void LogHistogram::observe(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  buckets_[index] += weight;
+  count_ += weight;
+  sum_ += value * weight;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LogHistogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) /
+                           static_cast<double>(count_);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  HYMM_DCHECK(q >= 0.0 && q <= 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    out.push_back(Bucket{bucket_lower(i), bucket_upper(i), buckets_[i]});
+  }
+  return out;
+}
+
+void LogHistogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+}
+
+}  // namespace hymm

@@ -1,5 +1,7 @@
 #include "obs/observer.hpp"
 
+#include <utility>
+
 namespace hymm {
 
 namespace {
@@ -12,7 +14,11 @@ std::vector<std::uint64_t> pow2_bounds(std::uint64_t lo, std::uint64_t hi) {
 
 }  // namespace
 
-Observer::Observer(ObserverOptions options) : options_(options) {
+Observer::Observer(ObserverOptions options)
+    : options_(options),
+      timeseries_(options.timeseries_interval > 0
+                      ? options.timeseries_interval
+                      : Cycle{1}) {
   dmb_evictions_ = &metrics_.counter("dmb.evictions");
   dmb_partial_spills_ = &metrics_.counter("dmb.partial_spills");
   dmb_prefetches_ = &metrics_.counter("dmb.prefetches");
@@ -45,6 +51,11 @@ Observer::Observer(ObserverOptions options) : options_(options) {
 void Observer::begin_run(const std::string& label) {
   if (run_started_) ++pid_;
   run_started_ = true;
+  // Per-run instruments start clean even if the previous run's series
+  // was never taken (e.g. a driver that only wanted the trace).
+  timeseries_.reset();
+  run_hist_ = RunHistograms{};
+  ts_has_prev_ = false;
   if (!options_.trace) return;
   trace_.set_process_name(pid_, label);
   trace_.set_thread_name(pid_, 0, "phases");
@@ -82,6 +93,81 @@ void Observer::observe_engine_window(std::uint64_t pending) {
   engine_window_->observe(pending);
 }
 
+void Observer::observe_load_latency(Cycle cycles) {
+  run_hist_.lsq_load_latency.observe(cycles);
+}
+
+void Observer::observe_dram_read_latency(Cycle cycles) {
+  run_hist_.dram_read_latency.observe(cycles);
+}
+
+void Observer::observe_dmb_fill_latency(Cycle cycles) {
+  run_hist_.dmb_fill_latency.observe(cycles);
+}
+
+RunHistograms Observer::take_run_histograms() {
+  RunHistograms out = std::move(run_hist_);
+  run_hist_ = RunHistograms{};
+  return out;
+}
+
+void Observer::timeseries_record(const TimeSeriesSample& s) {
+  timeseries_.record(s);
+  trace_timeseries_sample(s);
+}
+
+void Observer::timeseries_force(const TimeSeriesSample& s) {
+  if (ts_has_prev_ && s.cycle == ts_prev_.cycle) return;
+  timeseries_.record_forced(s);
+  trace_timeseries_sample(s);
+}
+
+TimeSeriesData Observer::take_timeseries() {
+  ts_has_prev_ = false;
+  return timeseries_.take();
+}
+
+void Observer::trace_timeseries_sample(const TimeSeriesSample& s) {
+  if (options_.trace) {
+    trace_.counter(pid_, "TS LSQ depth", "entries", s.cycle, s.lsq_depth);
+    trace_.counter(pid_, "TS SMQ backlog", "entries", s.cycle,
+                   s.smq_backlog);
+    trace_.counter(pid_, "TS DMB lines", "lines", s.cycle, s.dmb_lines);
+    trace_.counter(pid_, "TS partial bytes", "bytes", s.cycle,
+                   s.partial_bytes);
+    if (ts_has_prev_ && s.cycle > ts_prev_.cycle) {
+      // Windowed rates over the span since the previous sample. The
+      // trace keeps its own prev copy so storage decimation in the
+      // TimeSeries never changes what the counter tracks show.
+      const double span =
+          static_cast<double>(s.cycle - ts_prev_.cycle);
+      const std::uint64_t hits = s.dmb_hits - ts_prev_.dmb_hits;
+      const std::uint64_t misses = s.dmb_misses - ts_prev_.dmb_misses;
+      const double hit_rate =
+          (hits + misses) == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses);
+      trace_.counter(pid_, "TS DMB hit rate", "%", s.cycle, hit_rate);
+      trace_.counter(pid_, "TS ALU util", "%", s.cycle,
+                     100.0 *
+                         static_cast<double>(s.alu_busy_cycles -
+                                             ts_prev_.alu_busy_cycles) /
+                         span);
+      if (s.dram_peak_bytes_per_cycle > 0) {
+        trace_.counter(
+            pid_, "TS DRAM BW util", "%", s.cycle,
+            100.0 *
+                static_cast<double>(s.dram_bytes - ts_prev_.dram_bytes) /
+                (span *
+                 static_cast<double>(s.dram_peak_bytes_per_cycle)));
+      }
+    }
+  }
+  ts_prev_ = s;
+  ts_has_prev_ = true;
+}
+
 void Observer::sample_tracks(Cycle now, std::uint64_t dmb_lines,
                              std::uint64_t partial_bytes,
                              std::uint64_t lsq_depth,
@@ -114,10 +200,12 @@ void Observer::sample_tracks(Cycle now, std::uint64_t dmb_lines,
 }
 
 void Observer::phase_span(const std::string& name, Cycle begin, Cycle end) {
+  run_hist_.phase_cycles.observe(end - begin);
   if (options_.trace) trace_.duration(pid_, 0, name, begin, end);
 }
 
 void Observer::region_span(const std::string& name, Cycle begin, Cycle end) {
+  run_hist_.phase_cycles.observe(end - begin);
   if (options_.trace) trace_.duration(pid_, 1, name, begin, end);
 }
 

@@ -22,7 +22,9 @@
 
 #include "common/stall.hpp"
 #include "common/types.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace hymm {
@@ -34,6 +36,11 @@ struct ObserverOptions {
   // Cycles between counter-track samples; bounds trace size on long
   // runs. Sampling reads state, never mutates it.
   Cycle sample_interval = 64;
+  // Windowed time-series telemetry (obs/timeseries.hpp): snapshot the
+  // per-component gauges every timeseries_interval cycles. Off by
+  // default — the series rides --timeseries / HYMM_TIMESERIES.
+  bool timeseries = false;
+  Cycle timeseries_interval = 256;
 };
 
 class Observer {
@@ -68,6 +75,36 @@ class Observer {
   void observe_merge_depth(std::uint64_t records_outstanding);
   void observe_engine_window(std::uint64_t pending);
 
+  // --- Per-run latency histograms (obs/histogram.hpp) ---
+  // LSQ load allocation -> data ready (forwards are never recorded:
+  // they are satisfied without a memory request).
+  void observe_load_latency(Cycle cycles);
+  // DRAM read issue -> completion delivery.
+  void observe_dram_read_latency(Cycle cycles);
+  // DMB MSHR allocation -> fill install.
+  void observe_dmb_fill_latency(Cycle cycles);
+
+  const RunHistograms& run_histograms() const { return run_hist_; }
+  // Hands the current run's histograms over and starts fresh ones
+  // (run_experiment moves them into the ExperimentResult).
+  RunHistograms take_run_histograms();
+
+  // --- Windowed time-series telemetry (obs/timeseries.hpp) ---
+  bool timeseries_enabled() const { return options_.timeseries; }
+  TimeSeries& timeseries() { return timeseries_; }
+  const TimeSeries& timeseries() const { return timeseries_; }
+
+  // Records one scheduled sample (called by MemorySystem when a tick
+  // reaches TimeSeries::next_due(), and by the fast-forward replay
+  // for every due cycle inside a skipped span) and, when tracing,
+  // emits the windowed utilization counter tracks derived from the
+  // previous sample.
+  void timeseries_record(const TimeSeriesSample& s);
+  // Off-schedule end-of-phase sample (deduplicated per cycle).
+  void timeseries_force(const TimeSeriesSample& s);
+  // Hands the finished series over and resets the schedule.
+  TimeSeriesData take_timeseries();
+
   // Counter-track sample, called by MemorySystem every
   // sample_interval cycles. `stall_cycles` is the cumulative
   // per-cause cycle-accounting vector (kStallCauseCount entries).
@@ -82,9 +119,17 @@ class Observer {
   void region_span(const std::string& name, Cycle begin, Cycle end);
 
  private:
+  // Emits the derived windowed counter tracks for one recorded
+  // sample (trace builds only).
+  void trace_timeseries_sample(const TimeSeriesSample& s);
+
   ObserverOptions options_;
   MetricsRegistry metrics_;
   TraceWriter trace_;
+  TimeSeries timeseries_;
+  RunHistograms run_hist_;
+  TimeSeriesSample ts_prev_;
+  bool ts_has_prev_ = false;
   int pid_ = 0;
   bool run_started_ = false;
 

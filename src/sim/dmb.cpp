@@ -83,6 +83,7 @@ DenseMatrixBuffer::ReadResult DenseMatrixBuffer::read_absent(
   ++stats_.dmb_read_misses;
   Mshr mshr;
   mshr.cls = cls;
+  mshr.alloc_cycle = now;
   mshr.waiters.push_back(waiter_tag);
   mshrs_.emplace(line, std::move(mshr));
   ++membership_epoch_;
@@ -323,6 +324,8 @@ void DenseMatrixBuffer::tick(Cycle now) {
     const Addr line = tag_payload(tag);
     Mshr* mshr = mshrs_.find(line);
     HYMM_DCHECK(mshr != nullptr);
+    // MSHR allocation -> fill install (the buffer-side miss latency).
+    HYMM_OBS(obs_, observe_dmb_fill_latency(now - mshr->alloc_cycle));
     // Install as a clean line; when no victim is available (e.g.
     // everything pinned or write back-pressure) the fill bypasses the
     // buffer — the waiters still get their data.

@@ -153,6 +153,7 @@ class DenseMatrixBuffer {
 
   struct Mshr {
     TrafficClass cls = TrafficClass::kWeights;
+    Cycle alloc_cycle = 0;  // for the fill-latency histogram
     std::vector<std::uint64_t> waiters;
   };
 

@@ -55,7 +55,7 @@ void Dram::issue_read(Addr line_addr, TrafficClass cls, std::uint64_t tag,
   HYMM_CHECK_MSG(can_accept_read(), "DRAM read queue overflow");
   (void)line_addr;
   const Cycle slot = reserve_slot(now);
-  inflight_.push_back(Inflight{tag, slot + latency_});
+  inflight_.push_back(Inflight{tag, slot + latency_, now});
   stats_.dram_read_bytes[static_cast<std::size_t>(cls)] += kLineBytes;
   HYMM_OBS(obs_, on_dram_read());
 }
@@ -76,6 +76,12 @@ void Dram::issue_streaming_read(TrafficClass cls, Cycle now) {
 void Dram::tick(Cycle now) {
   completions_.clear();
   while (!inflight_.empty() && inflight_.front().ready_cycle <= now) {
+    // Issue -> delivery, including bandwidth queueing. Delivery
+    // happens at the same cycle under fast-forward (the span jump
+    // lands exactly on the head's ready_cycle), so the histogram is
+    // mode-invariant.
+    HYMM_OBS(obs_,
+             observe_dram_read_latency(now - inflight_.front().issue_cycle));
     completions_.push_back(inflight_.front().tag);
     inflight_.pop_front();
   }

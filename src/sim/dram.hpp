@@ -74,6 +74,7 @@ class Dram {
   struct Inflight {
     std::uint64_t tag = 0;
     Cycle ready_cycle = 0;
+    Cycle issue_cycle = 0;  // for the read-latency histogram
   };
 
   // Reserves a bandwidth slot starting no earlier than `now`.

@@ -25,13 +25,13 @@ std::size_t LoadStoreQueue::free_entries() const {
 std::optional<LoadStoreQueue::EntryId> LoadStoreQueue::load(Addr line,
                                                             TrafficClass cls,
                                                             Cycle now) {
-  (void)now;
   if (free_entries() == 0) return std::nullopt;
   ++stats_.lsq_loads;
   const EntryId id = next_id_++;
   LoadEntry entry;
   entry.line = line;
   entry.cls = cls;
+  entry.issue_cycle = now;
   if (forwarding_ && forward_lines_.contains(line)) {
     // A store entry for this line exists (pending or already
     // drained): forward its data without touching the memory system
@@ -97,6 +97,9 @@ void LoadStoreQueue::tick(Cycle now) {
     if (entry != nullptr) {
       entry->ready = true;
       tick_active_ = true;
+      // Allocation -> ready latency; forwarded loads never pass
+      // through here (they are born ready).
+      HYMM_OBS(obs_, observe_load_latency(now - entry->issue_cycle));
     }
   }
 

@@ -90,7 +90,8 @@ class LoadStoreQueue {
   struct LoadEntry {
     Addr line = 0;
     TrafficClass cls = TrafficClass::kCombined;
-    bool issued = false;  // accepted by the DMB
+    Cycle issue_cycle = 0;  // allocation cycle, for latency histograms
+    bool issued = false;    // accepted by the DMB
     bool ready = false;
   };
 

@@ -54,6 +54,14 @@ AutotuneMode parse_autotune(const std::string& source,
   return *mode;
 }
 
+// "0" = off, "1" = on at the default 256-cycle interval, N >= 2 = a
+// custom interval of N cycles.
+std::uint64_t parse_timeseries(const std::string& source,
+                               const std::string& value) {
+  const std::uint64_t n = parse_u64_value(source, value, 0);
+  return n == 1 ? 256 : n;
+}
+
 }  // namespace
 
 double BenchOptions::scale_for(const DatasetSpec& spec) const {
@@ -77,6 +85,9 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
   options.full_datasets = env_truthy(env("HYMM_FULL_DATASETS"));
   if (const char* v = env("HYMM_TRACE_DIR")) options.trace_dir = v;
   if (const char* v = env("HYMM_JSON_DIR")) options.json_dir = v;
+  if (const char* v = env("HYMM_TIMESERIES")) {
+    options.timeseries_interval = parse_timeseries("HYMM_TIMESERIES", v);
+  }
   if (const char* v = env("HYMM_THREADS")) {
     options.threads = static_cast<unsigned>(
         parse_u64_value("HYMM_THREADS", v, 0, 4096));
@@ -117,6 +128,11 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
           parse_u64_value("--threads", next(), 0, 4096));
     } else if (arg == "--seed") {
       options.seed = parse_u64_value("--seed", next(), 0);
+    } else if (arg == "--timeseries") {
+      // Value optional: bare --timeseries means the default interval
+      // (never consumes the following argument).
+      options.timeseries_interval = parse_timeseries(
+          "--timeseries", inline_value ? *inline_value : "1");
     } else if (arg == "--autotune") {
       // Value optional: bare --autotune means the full measured
       // search (never consumes the following argument).

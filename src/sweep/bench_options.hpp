@@ -9,6 +9,9 @@
 ///   HYMM_SCALE          --scale=0.1        scale override (0 < s <= 1)
 ///   HYMM_TRACE_DIR      --trace-dir=DIR    Perfetto trace per dataset
 ///   HYMM_JSON_DIR       --json-dir=DIR     JSON run report per dataset
+///   HYMM_TIMESERIES     --timeseries[=N]   windowed telemetry every N
+///                                          cycles (bare flag / "1" =
+///                                          256; "0" = off)
 ///   HYMM_THREADS        --threads=N        sweep workers (0 = auto)
 ///                       --seed=N           workload seed (default 42)
 ///   HYMM_AUTOTUNE       --autotune[=MODE]  partition auto-tuner mode:
@@ -48,6 +51,9 @@ struct BenchOptions {
   bool full_datasets = false;         ///< simulate FR/YP at full size
   std::string trace_dir;              ///< Perfetto trace dir; empty = off
   std::string json_dir;               ///< JSON report dir; empty = off
+  /// Windowed time-series sampling interval in cycles; 0 = off. Bare
+  /// --timeseries (or HYMM_TIMESERIES=1) selects the default 256.
+  std::uint64_t timeseries_interval = 0;
   unsigned threads = 0;               ///< 0 = HYMM_THREADS/auto
   std::uint64_t seed = 42;
   /// Partition auto-tuner (src/tune/): how hybrid cells pick their
@@ -59,9 +65,11 @@ struct BenchOptions {
   /// Effective scale for one dataset: the override, else 1.0 under
   /// --full-datasets, else the dataset's bench default.
   double scale_for(const DatasetSpec& spec) const;
-  /// True when any trace/report output was requested.
+  /// True when any observer-backed output was requested (trace or
+  /// report dirs, or the windowed time-series).
   bool observing() const {
-    return !trace_dir.empty() || !json_dir.empty();
+    return !trace_dir.empty() || !json_dir.empty() ||
+           timeseries_interval > 0;
   }
 
   /// getenv-shaped hook so tests can inject an environment.

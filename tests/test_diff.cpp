@@ -1,0 +1,215 @@
+// hymm_diff root-cause engine acceptance suite (obs/diff.hpp): report
+// normalization across the supported schemas, the exact-attribution
+// guarantee (rows sum to the cycle delta with no residual), and the
+// headline acceptance criterion — an injected single-bucket stall
+// delta is attributed to the right (phase, bucket) with >= 90% share.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/diff.hpp"
+#include "obs/json.hpp"
+
+namespace hymm {
+namespace {
+
+// A minimal hymm-bench/2 snapshot: one CR/HyMM run whose phase stall
+// vectors are fully spelled out so tests can inject precise deltas.
+std::string bench2_snapshot(double agg_dram_latency,
+                            double comb_compute = 90000.0,
+                            double skipped = 120000.0,
+                            double wall_ms = 10.0) {
+  std::ostringstream oss;
+  oss << R"({
+  "schema": "hymm-bench/2",
+  "rev": "test",
+  "runs": [
+    {
+      "abbrev": "CR",
+      "flow": "HyMM",
+      "cycles": )"
+      << (comb_compute + 10000.0 + agg_dram_latency + 42000.0 + 8000.0)
+      << R"(,
+      "sim_wall_ms": )"
+      << wall_ms << R"(,
+      "skipped_cycles": )"
+      << skipped << R"(,
+      "combination": {
+        "cycles": )"
+      << (comb_compute + 10000.0) << R"(,
+        "stalls": { "compute": )"
+      << comb_compute << R"(, "smq_backlog": 10000 }
+      },
+      "aggregation": {
+        "cycles": )"
+      << (agg_dram_latency + 42000.0 + 8000.0) << R"(,
+        "stalls": {
+          "compute": 42000,
+          "dram_latency": )"
+      << agg_dram_latency << R"(,
+          "merge_rmw": 8000
+        }
+      }
+    }
+  ]
+})";
+  return oss.str();
+}
+
+ReportSnapshot parse_snapshot(const std::string& text) {
+  const std::optional<JsonValue> doc = json_parse(text);
+  EXPECT_TRUE(doc.has_value());
+  std::string error;
+  const std::optional<ReportSnapshot> report =
+      normalize_report(*doc, &error);
+  EXPECT_TRUE(report.has_value()) << error;
+  return *report;
+}
+
+TEST(DiffNormalize, Bench2PhasesCarryStallVectors) {
+  const ReportSnapshot report = parse_snapshot(bench2_snapshot(30000.0));
+  EXPECT_EQ(report.kind, "bench");
+  EXPECT_EQ(report.schema, "hymm-bench/2");
+  ASSERT_EQ(report.runs.size(), 1u);
+  const RunSnapshot& run = report.runs[0];
+  EXPECT_EQ(run.abbrev, "CR");
+  EXPECT_EQ(run.flow, "HyMM");
+  EXPECT_DOUBLE_EQ(run.skipped_cycles, 120000.0);
+  ASSERT_EQ(run.phases.size(), 2u);
+  EXPECT_EQ(run.phases[0].name, "combination");
+  // Phase cycles are the stall-bucket sum (the accounting invariant).
+  EXPECT_DOUBLE_EQ(run.phases[0].cycles, 100000.0);
+  EXPECT_EQ(run.phases[1].name, "aggregation");
+  EXPECT_DOUBLE_EQ(run.phases[1].stalls.at("dram_latency"), 30000.0);
+}
+
+TEST(DiffNormalize, Bench1FallsBackToTotalPhase) {
+  const ReportSnapshot report = parse_snapshot(R"({
+    "schema": "hymm-bench/1",
+    "runs": [
+      { "abbrev": "CR", "flow": "RWP", "cycles": 500,
+        "stalls": { "compute": 300, "dram_latency": 200 } }
+    ]
+  })");
+  ASSERT_EQ(report.runs.size(), 1u);
+  ASSERT_EQ(report.runs[0].phases.size(), 1u);
+  EXPECT_EQ(report.runs[0].phases[0].name, "total");
+  EXPECT_DOUBLE_EQ(report.runs[0].phases[0].cycles, 500.0);
+}
+
+TEST(DiffNormalize, RunReportHybridRegionsReplaceAggregation) {
+  const ReportSnapshot report = parse_snapshot(R"({
+    "schema": "hymm-run-report/5",
+    "results": [
+      {
+        "abbrev": "CR", "flow": "HyMM", "cycles": 1000,
+        "stats": { "skipped_cycles": 640 },
+        "combination": { "stalls": { "compute": 400 } },
+        "aggregation": { "stalls": { "compute": 600 } },
+        "regions": [
+          { "stalls": { "compute": 250 } },
+          { "stalls": { "compute": 350 } }
+        ]
+      }
+    ]
+  })");
+  EXPECT_EQ(report.kind, "run-report");
+  ASSERT_EQ(report.runs.size(), 1u);
+  const RunSnapshot& run = report.runs[0];
+  EXPECT_DOUBLE_EQ(run.skipped_cycles, 640.0);
+  // combination + region1 + region2; the whole-phase aggregation row
+  // is replaced by its exact per-region split.
+  ASSERT_EQ(run.phases.size(), 3u);
+  EXPECT_EQ(run.phases[1].name, "region1");
+  EXPECT_EQ(run.phases[2].name, "region2");
+  EXPECT_DOUBLE_EQ(run.phases[1].cycles + run.phases[2].cycles, 600.0);
+}
+
+TEST(DiffNormalize, RejectsUnsupportedSchema) {
+  const std::optional<JsonValue> doc =
+      json_parse(R"({ "schema": "hymm-bench/99", "runs": [] })");
+  ASSERT_TRUE(doc.has_value());
+  std::string error;
+  EXPECT_FALSE(normalize_report(*doc, &error).has_value());
+  EXPECT_NE(error.find("hymm-bench/99"), std::string::npos);
+}
+
+// The acceptance criterion: inject a 30000-cycle regression into one
+// (phase, bucket) cell and require the diff to rank that cell first
+// with >= 90% of the delta attributed to it.
+TEST(DiffReports, AttributesInjectedStallDeltaToTheRightCell) {
+  const ReportSnapshot base = parse_snapshot(
+      bench2_snapshot(/*agg_dram_latency=*/30000.0));
+  // Candidate: dram_latency regresses by 30000, compute drifts by a
+  // comparatively tiny 500, fast-forward skipped less.
+  const ReportSnapshot current = parse_snapshot(bench2_snapshot(
+      /*agg_dram_latency=*/60000.0, /*comb_compute=*/90500.0,
+      /*skipped=*/110000.0, /*wall_ms=*/14.0));
+
+  const std::vector<RunDiff> diffs = diff_reports(base, current);
+  ASSERT_EQ(diffs.size(), 1u);
+  const RunDiff& diff = diffs[0];
+  EXPECT_DOUBLE_EQ(diff.cycle_delta(), 30500.0);
+  EXPECT_DOUBLE_EQ(diff.sim_wall_ms_delta, 4.0);
+  EXPECT_DOUBLE_EQ(diff.skipped_cycles_delta, -10000.0);
+
+  // Rows sum exactly to the cycle delta: no residual bucket.
+  double row_sum = 0.0;
+  for (const DiffRow& row : diff.rows) row_sum += row.delta;
+  EXPECT_DOUBLE_EQ(row_sum, diff.cycle_delta());
+
+  // Top-ranked row is the injected cell, holding >= 90% of the delta.
+  ASSERT_FALSE(diff.rows.empty());
+  const DiffRow& top = diff.rows.front();
+  EXPECT_EQ(top.phase, "aggregation");
+  EXPECT_EQ(top.cause, "dram_latency");
+  EXPECT_DOUBLE_EQ(top.delta, 30000.0);
+  EXPECT_GE(top.delta / diff.cycle_delta(), 0.9);
+}
+
+TEST(DiffReports, SkipsRunsMissingFromOneSide) {
+  const ReportSnapshot base = parse_snapshot(bench2_snapshot(30000.0));
+  const ReportSnapshot empty = parse_snapshot(
+      R"({ "schema": "hymm-bench/2", "runs": [] })");
+  EXPECT_TRUE(diff_reports(base, empty).empty());
+  EXPECT_TRUE(diff_reports(empty, base).empty());
+}
+
+TEST(DiffPrint, RendersRankedTableAndShares) {
+  const ReportSnapshot base = parse_snapshot(bench2_snapshot(30000.0));
+  const ReportSnapshot current = parse_snapshot(bench2_snapshot(60000.0));
+  std::ostringstream out;
+  print_diff(diff_reports(base, current), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("CR/HyMM"), std::string::npos);
+  EXPECT_NE(text.find("dram_latency"), std::string::npos);
+  EXPECT_NE(text.find("aggregation"), std::string::npos);
+  EXPECT_NE(text.find("30000"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST(DiffPrint, ReportsNoCycleDelta) {
+  const ReportSnapshot report = parse_snapshot(bench2_snapshot(30000.0));
+  std::ostringstream out;
+  print_diff(diff_reports(report, report), out);
+  EXPECT_NE(out.str().find("no cycle delta"), std::string::npos);
+}
+
+TEST(DiffPrint, CapsRowsAndAggregatesTheRest) {
+  // Base/current differ in every bucket; max_rows=1 folds the rest
+  // into an "(other)" row so the shares still total 100%.
+  const ReportSnapshot base = parse_snapshot(bench2_snapshot(
+      30000.0, /*comb_compute=*/90000.0));
+  const ReportSnapshot current = parse_snapshot(bench2_snapshot(
+      60000.0, /*comb_compute=*/95000.0));
+  std::ostringstream out;
+  print_diff(diff_reports(base, current), out, /*max_rows=*/1);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("dram_latency"), std::string::npos);
+  EXPECT_NE(text.find("(other)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hymm

@@ -1,0 +1,218 @@
+// LogHistogram acceptance suite (obs/histogram.hpp): bucket geometry,
+// exact small-value behavior, the merge-equals-direct-observation
+// guarantee, and the bounded-error quantile contract
+//   true <= quantile(q) <= true * (1 + 2^-kSubBucketBits)
+// checked against an exact sorted-sample oracle on random streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace hymm {
+namespace {
+
+TEST(LogHistogram, EmptyHistogramReportsZeros) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(LogHistogram, SingleSampleIsExactAtEveryQuantile) {
+  LogHistogram h;
+  h.observe(12345);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 12345u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_DOUBLE_EQ(h.mean(), 12345.0);
+  // Every quantile of a one-sample distribution is the sample; the
+  // bucket edge estimate is capped at the exact max.
+  for (const double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 12345u) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ValuesBelowSubBucketCountAreExact) {
+  // One bucket per value below kSubBuckets = 32: quantiles of any
+  // stream of small values are exact, not just bounded.
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_lower(LogHistogram::bucket_index(v)), v);
+    EXPECT_EQ(LogHistogram::bucket_upper(LogHistogram::bucket_index(v)), v);
+    h.observe(v);
+  }
+  EXPECT_EQ(h.count(), LogHistogram::kSubBuckets);
+  EXPECT_EQ(h.quantile(0.5), 15u);  // ceil(0.5 * 32) = 16th smallest = 15
+  EXPECT_EQ(h.quantile(1.0), 31u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(LogHistogram, BucketEdgesTileTheValueRange) {
+  // Walking buckets from 0: edges are contiguous (upper + 1 == next
+  // lower) and every value maps into the bucket whose edges contain
+  // it.
+  std::size_t index = 0;
+  std::uint64_t expected_lower = 0;
+  for (; LogHistogram::bucket_lower(index) < (std::uint64_t{1} << 40);
+       ++index) {
+    const std::uint64_t lower = LogHistogram::bucket_lower(index);
+    const std::uint64_t upper = LogHistogram::bucket_upper(index);
+    ASSERT_EQ(lower, expected_lower) << "bucket " << index;
+    ASSERT_GE(upper, lower);
+    ASSERT_EQ(LogHistogram::bucket_index(lower), index);
+    ASSERT_EQ(LogHistogram::bucket_index(upper), index);
+    expected_lower = upper + 1;
+  }
+  ASSERT_GT(index, LogHistogram::kSubBuckets);
+}
+
+TEST(LogHistogram, WeightedObserveMatchesRepeatedObserve) {
+  LogHistogram weighted;
+  weighted.observe(100, 5);
+  LogHistogram repeated;
+  for (int i = 0; i < 5; ++i) repeated.observe(100);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_EQ(weighted.sum(), repeated.sum());
+  EXPECT_EQ(weighted.quantile(0.5), repeated.quantile(0.5));
+}
+
+TEST(LogHistogram, MergeOfDisjointBucketRangesIsExact) {
+  // `low` only holds exact small-value buckets, `high` only holds
+  // log buckets far above them: merging must splice the ranges
+  // without disturbing either side.
+  LogHistogram low;
+  for (std::uint64_t v = 1; v <= 8; ++v) low.observe(v);
+  LogHistogram high;
+  for (std::uint64_t v = 1 << 20; v < (1 << 20) + 8; ++v) high.observe(v);
+
+  LogHistogram merged = low;
+  merged.merge(high);
+
+  EXPECT_EQ(merged.count(), 16u);
+  EXPECT_EQ(merged.sum(), low.sum() + high.sum());
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), high.max());
+  // The 8 small samples occupy ranks 1..8: the median of the merged
+  // stream is still exact.
+  EXPECT_EQ(merged.quantile(0.5), 8u);
+  // Every nonzero bucket came from exactly one side.
+  for (const LogHistogram::Bucket& b : merged.nonzero_buckets()) {
+    EXPECT_TRUE(b.upper <= 8 || b.lower >= (1 << 20))
+        << "[" << b.lower << ", " << b.upper << "]";
+  }
+}
+
+TEST(LogHistogram, MergeEqualsDirectObservation) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 1 << 18);
+  LogHistogram a, b, direct;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t va = dist(rng);
+    const std::uint64_t vb = dist(rng);
+    a.observe(va);
+    b.observe(vb);
+    direct.observe(va);
+    direct.observe(vb);
+  }
+  LogHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.sum(), direct.sum());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram h;
+  h.observe(77);
+  LogHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.quantile(1.0), 77u);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 77u);
+}
+
+// The bounded-error property against an exact oracle: for random
+// streams drawn from distributions with very different shapes, every
+// quantile estimate brackets the true order statistic within the
+// documented factor.
+TEST(LogHistogram, QuantileErrorIsBoundedAgainstSortedOracle) {
+  const double bound =
+      1.0 + 1.0 / static_cast<double>(LogHistogram::kSubBuckets);
+  std::mt19937 rng(42);
+
+  for (int shape = 0; shape < 3; ++shape) {
+    LogHistogram h;
+    std::vector<std::uint64_t> oracle;
+    for (int i = 0; i < 4000; ++i) {
+      std::uint64_t v = 0;
+      if (shape == 0) {  // uniform, spans many octaves
+        v = std::uniform_int_distribution<std::uint64_t>(0, 1 << 22)(rng);
+      } else if (shape == 1) {  // geometric-ish, heavy at small values
+        v = std::uint64_t{1} << std::uniform_int_distribution<int>(0, 30)(rng);
+        v += std::uniform_int_distribution<std::uint64_t>(0, v - 1)(rng);
+      } else {  // narrow band around a fixed latency
+        v = std::uniform_int_distribution<std::uint64_t>(90, 110)(rng);
+      }
+      h.observe(v);
+      oracle.push_back(v);
+    }
+    std::sort(oracle.begin(), oracle.end());
+
+    for (const double q :
+         {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+      const std::size_t rank = static_cast<std::size_t>(
+          std::max<double>(1.0, std::ceil(q * oracle.size())));
+      const std::uint64_t truth = oracle[rank - 1];
+      const std::uint64_t est = h.quantile(q);
+      EXPECT_GE(est, truth) << "shape=" << shape << " q=" << q;
+      EXPECT_LE(static_cast<double>(est),
+                static_cast<double>(truth) * bound + 1.0)
+          << "shape=" << shape << " q=" << q;
+    }
+    EXPECT_EQ(h.quantile(1.0), oracle.back());
+    EXPECT_EQ(h.min(), oracle.front());
+  }
+}
+
+TEST(LogHistogram, ResetRestoresEmptyState) {
+  LogHistogram h;
+  h.observe(999);
+  h.observe(3);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.observe(10);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 10u);
+}
+
+TEST(RunHistograms, EmptyTracksAllFourHistograms) {
+  RunHistograms rh;
+  EXPECT_TRUE(rh.empty());
+  rh.phase_cycles.observe(100);
+  EXPECT_FALSE(rh.empty());
+}
+
+}  // namespace
+}  // namespace hymm

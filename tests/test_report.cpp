@@ -75,10 +75,13 @@ TEST(ResultsCsv, GoldenHeaderAndRow) {
       "stall_compute,stall_merge_rmw,stall_dram_latency,"
       "stall_dram_bandwidth,stall_lsq_full,stall_smq_backlog,"
       "stall_dmb_miss,stall_accumulator_conflict,stall_drain,"
-      "bottleneck,dram_bw_utilization\n"
+      "bottleneck,dram_bw_utilization,"
+      "lsq_lat_p50,lsq_lat_p99,lsq_lat_max,"
+      "dram_lat_p50,dram_lat_p99,dram_lat_max\n"
       "CR,0.5,HyMM,1000,400,600,2048,0.25,0.75,4096,1.5,"
       "64,32,128,64,192,96,256,128,320,160,384,192,2016,1,0,"
-      "700,100,200,0,0,0,0,0,0,compute-bound,0.0315\n";
+      "700,100,200,0,0,0,0,0,0,compute-bound,0.0315,"
+      "0,0,0,0,0,0\n";
   EXPECT_EQ(out.str(), expected);
 }
 
@@ -132,7 +135,7 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   const std::string doc = out.str();
   ASSERT_TRUE(json_is_valid(doc)) << doc;
 
-  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/4\""),
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/5\""),
             std::string::npos);
   const auto expect_field = [&doc](const std::string& key,
                                    std::uint64_t value) {
@@ -215,6 +218,45 @@ TEST(ResultsJson, NonHybridOmitsPartitionAndRegions) {
   ASSERT_TRUE(json_is_valid(doc));
   EXPECT_EQ(doc.find("\"partition\""), std::string::npos);
   EXPECT_EQ(doc.find("\"regions\""), std::string::npos);
+}
+
+// Schema /5: histograms and timeseries only appear when non-empty,
+// and carry the quantile summary / column arrays when they do.
+TEST(ResultsJson, OmitsHistogramsAndTimeseriesWhenEmpty) {
+  std::vector<ExperimentResult> results = {make_result()};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc));
+  EXPECT_EQ(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"timeseries\""), std::string::npos);
+}
+
+TEST(ResultsJson, CarriesHistogramsAndTimeseriesWhenPresent) {
+  ExperimentResult r = make_result();
+  r.histograms.lsq_load_latency.observe(10);
+  r.histograms.lsq_load_latency.observe(100);
+  r.histograms.dram_read_latency.observe(55);
+  r.timeseries.interval = 256;
+  TimeSeriesSample s;
+  s.cycle = 256;
+  s.lsq_depth = 3;
+  s.dram_bytes = 4096;
+  s.stall_cycles[static_cast<std::size_t>(StallCause::kCompute)] = 200;
+  r.timeseries.samples.push_back(s);
+  std::vector<ExperimentResult> results = {r};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"lsq_load_latency\""), std::string::npos);
+  EXPECT_NE(doc.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+  EXPECT_NE(doc.find("\"timeseries\""), std::string::npos);
+  EXPECT_NE(doc.find("\"interval\": 256"), std::string::npos);
+  EXPECT_NE(doc.find("\"lsq_depth\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dram_bytes\""), std::string::npos);
 }
 
 TEST(ResultsJson, AppendsMetricsRegistryWhenProvided) {

@@ -125,6 +125,9 @@ inline std::vector<std::vector<DataflowComparison>> run_config_sweep(
     sweep_options.observer_options.timeseries_interval =
         opts.timeseries_interval;
   }
+  sweep_options.observer_options.spatial = opts.spatial_tile > 0;
+  sweep_options.observer_options.spatial_tile =
+      opts.spatial_tile >= 2 ? static_cast<NodeId>(opts.spatial_tile) : 0;
   // One group per (dataset, config): its flows share one observer and
   // run serially, so each trace/report file covers one comparison.
   sweep_options.group_key = [](const SweepCell& cell) {
@@ -221,6 +224,9 @@ inline std::vector<DataflowComparison> run_autotuned_datasets(
       sweep_options.observer_options.timeseries_interval =
           opts.timeseries_interval;
     }
+    sweep_options.observer_options.spatial = opts.spatial_tile > 0;
+    sweep_options.observer_options.spatial_tile =
+        opts.spatial_tile >= 2 ? static_cast<NodeId>(opts.spatial_tile) : 0;
     sweep_options.group_key = [](const SweepCell&) {
       return std::string("all");
     };

@@ -1,9 +1,11 @@
-// Run-diff root-cause tool: diffs two run reports (hymm-run-report/4
-// or /5) or two perf snapshots (hymm-bench/1 or /2) and attributes
+// Run-diff root-cause tool: diffs two run reports (hymm-run-report/4,
+// /5 or /6) or two perf snapshots (hymm-bench/1 or /2) and attributes
 // each paired run's cycle delta to (phase-or-region x stall bucket),
 // printing a ranked attribution table. The per-phase stall vectors
 // sum exactly to the per-phase cycles, so the rows sum exactly to the
-// delta.
+// delta. When both reports carry the /6 "spatial" tile grid at the
+// same geometry, the tiles with the largest cycle deltas are ranked
+// too.
 //
 //   hymm_diff BASELINE CURRENT [--max-rows N]
 //
@@ -16,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/version.hpp"
 #include "obs/diff.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +30,13 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--max-rows" && i + 1 < argc) {
       max_rows = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--version") {
+      std::cout << "hymm_diff\n"
+                << "  run-report schema: " << kRunReportSchema
+                << " (reads /4 and /5 too)\n"
+                << "  bench schema:      " << kBenchSchema
+                << " (reads /1 too)\n";
+      return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "usage: hymm_diff BASELINE CURRENT [--max-rows N]\n";
       return 2;

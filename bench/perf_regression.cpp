@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/version.hpp"
 #include "obs/json.hpp"
 
 int main(int argc, char** argv) {
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
       out_path = rest[++i];
     } else if (rest[i] == "--rev" && i + 1 < rest.size()) {
       rev = rest[++i];
+    } else if (rest[i] == "--version") {
+      std::cout << "perf_regression\n"
+                << "  bench schema:      " << kBenchSchema << '\n'
+                << "  run-report schema: " << kRunReportSchema << '\n';
+      return 0;
     } else {
       std::cerr << "usage: perf_regression [--out FILE] [--rev NAME] "
                    "[bench flags]\n";
@@ -74,7 +80,7 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-bench/2");
+  w.field("schema", kBenchSchema);
   w.field("rev", rev);
   w.key("runs");
   w.begin_array();

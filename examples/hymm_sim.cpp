@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/version.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "graph/generator.hpp"
@@ -28,6 +29,7 @@
 #include "obs/observer.hpp"
 #include "sweep/bench_options.hpp"
 #include "sweep/sweep.hpp"
+#include "tune/tune_cache.hpp"
 #include "tune/tuner.hpp"
 
 namespace {
@@ -60,7 +62,17 @@ void usage() {
       "  --json <file>        JSON run report (full counter set)\n"
       "  --sample-interval <cycles>  counter-track sampling period\n"
       "  --timeseries[=N]     windowed telemetry every N cycles\n"
-      "                       (bare = 256; also HYMM_TIMESERIES)\n";
+      "                       (bare = 256; also HYMM_TIMESERIES)\n"
+      "  --spatial[=TILE]     per-PE / per-tile spatial attribution\n"
+      "                       (bare = auto tile size; also HYMM_SPATIAL)\n"
+      "  --version            print the supported schema versions\n";
+}
+
+void print_version() {
+  std::cout << "hymm_sim\n"
+            << "  run-report schema: " << kRunReportSchema << '\n'
+            << "  bench schema:      " << kBenchSchema << '\n'
+            << "  tune-cache schema: " << TuneCache::kSchema << '\n';
 }
 
 std::optional<Dataflow> parse_flow(const std::string& s) {
@@ -111,6 +123,7 @@ int main(int argc, char** argv) {
       else if (arg == "--trace") config.trace_path = next();
       else if (arg == "--json") config.json_path = next();
       else if (arg == "--sample-interval") config.obs_sample_interval = parse_u64_value("--sample-interval", next(), 1);
+      else if (arg == "--version") { print_version(); return 0; }
       else if (arg == "--help" || arg == "-h") { usage(); return 0; }
       else {
         std::cerr << "unknown argument " << arg << "\n";
@@ -211,7 +224,8 @@ int main(int argc, char** argv) {
 
   const bool observing = !config.trace_path.empty() ||
                          !config.json_path.empty() ||
-                         opts.timeseries_interval > 0;
+                         opts.timeseries_interval > 0 ||
+                         opts.spatial_tile > 0;
   SweepOptions sweep_options;
   sweep_options.threads = opts.threads;
   sweep_options.observe = observing;
@@ -222,6 +236,9 @@ int main(int argc, char** argv) {
     sweep_options.observer_options.timeseries_interval =
         opts.timeseries_interval;
   }
+  sweep_options.observer_options.spatial = opts.spatial_tile > 0;
+  sweep_options.observer_options.spatial_tile =
+      opts.spatial_tile >= 2 ? static_cast<NodeId>(opts.spatial_tile) : 0;
   if (observing) {
     // One observer for every flow: each run becomes its own trace
     // process group and the metrics registry aggregates across runs.
@@ -260,6 +277,18 @@ int main(int argc, char** argv) {
     if (!r.timeseries.empty()) {
       std::cout << "  timeseries:      " << r.timeseries.samples.size()
                 << " samples @ " << r.timeseries.interval << " cycles\n";
+    }
+    if (!r.spatial.empty()) {
+      const ImbalanceStats pe = compute_imbalance(r.spatial.lane_busy_cycles);
+      const ImbalanceStats band =
+          compute_imbalance(r.spatial.row_band_cycles());
+      std::cout << "  spatial:         " << r.spatial.grid_rows << "x"
+                << r.spatial.grid_cols << " grid (tile " << r.spatial.tile
+                << " nodes)\n"
+                << "  PE imbalance:    max/mean=" << pe.max_over_mean
+                << " cov=" << pe.cov << " gini=" << pe.gini << '\n'
+                << "  row-band imbal.: max/mean=" << band.max_over_mean
+                << " cov=" << band.cov << " gini=" << band.gini << '\n';
     }
     std::cout << '\n';
     results.push_back(r);

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validate HyMM JSON artifacts against their declared schema.
+
+Usage:
+    check_schema.py FILE [FILE ...]
+
+Each file must declare a supported schema and satisfy that schema's
+structural requirements:
+
+  hymm-run-report/4|5|6   "results" array; every result carries the
+                          required run keys and a "stats" object with
+                          a stall breakdown. "histograms"/"timeseries"
+                          need /5+; "spatial" needs /6 (and its
+                          per-region cell arrays must match the
+                          declared grid geometry, with "pe" counters
+                          and an "imbalance" summary present).
+  hymm-bench/1|2          "runs" array; every run carries abbrev,
+                          flow, cycles and a stall breakdown; /2 runs
+                          also the per-phase breakdown.
+  hymm-tune-cache/1       "entries" array of cached tuner decisions.
+
+Prints one OK/FAIL line per file with every problem found. Exit
+status: 0 when all files validate, 1 when any file fails, 2 on usage
+errors or unreadable files.
+"""
+
+import json
+import sys
+
+RUN_REPORT_SCHEMAS = {
+    "hymm-run-report/4": 4,
+    "hymm-run-report/5": 5,
+    "hymm-run-report/6": 6,
+}
+BENCH_SCHEMAS = {"hymm-bench/1": 1, "hymm-bench/2": 2}
+TUNE_CACHE_SCHEMAS = {"hymm-tune-cache/1": 1}
+
+RESULT_KEYS = ("dataset", "abbrev", "scale", "flow", "cycles", "verified")
+SPATIAL_CELL_KEYS = ("nnz", "macs", "dmb_hits", "dmb_misses",
+                     "dram_bytes", "cycles")
+BENCH_RUN_KEYS = ("abbrev", "flow", "cycles")
+
+
+def check_stalls(obj, where, problems):
+    stalls = obj.get("stalls")
+    if not isinstance(stalls, dict) or not stalls:
+        problems.append(f"{where}: missing or empty \"stalls\" object")
+        return
+    for cause, cycles in stalls.items():
+        if not isinstance(cycles, (int, float)):
+            problems.append(f"{where}: stall {cause!r} is not a number")
+
+
+def check_spatial(spatial, where, problems):
+    rows = spatial.get("grid_rows")
+    cols = spatial.get("grid_cols")
+    if not isinstance(rows, int) or not isinstance(cols, int) \
+            or rows <= 0 or cols <= 0:
+        problems.append(f"{where}: spatial grid geometry is invalid")
+        return
+    cells = rows * cols
+    regions = spatial.get("regions")
+    if not isinstance(regions, dict):
+        problems.append(f"{where}: spatial has no \"regions\" object")
+    else:
+        for name, region in regions.items():
+            for key in SPATIAL_CELL_KEYS:
+                column = region.get(key)
+                if not isinstance(column, list) or len(column) != cells:
+                    problems.append(
+                        f"{where}: spatial region {name!r} array {key!r} "
+                        f"is not a {cells}-cell list")
+    if not isinstance(spatial.get("residual"), dict):
+        problems.append(f"{where}: spatial has no \"residual\" object")
+    pe = spatial.get("pe")
+    if not isinstance(pe, dict) or \
+            not isinstance(pe.get("busy_cycles"), list) or \
+            not isinstance(pe.get("mac_ops"), list):
+        problems.append(f"{where}: spatial has no per-PE counter arrays")
+    if not isinstance(spatial.get("imbalance"), dict):
+        problems.append(f"{where}: spatial has no \"imbalance\" object")
+
+
+def check_run_report(doc, version, problems):
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("missing or empty \"results\" array")
+        return
+    for i, result in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(result, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in RESULT_KEYS:
+            if key not in result:
+                problems.append(f"{where}: missing key {key!r}")
+        stats = result.get("stats")
+        if not isinstance(stats, dict):
+            problems.append(f"{where}: missing \"stats\" object")
+        else:
+            check_stalls(stats, f"{where}.stats", problems)
+        for key, since in (("histograms", 5), ("timeseries", 5),
+                           ("spatial", 6)):
+            if key in result and version < since:
+                problems.append(
+                    f"{where}: {key!r} needs hymm-run-report/{since}+ "
+                    f"but the report declares /{version}")
+        spatial = result.get("spatial")
+        if version >= 6 and isinstance(spatial, dict):
+            check_spatial(spatial, where, problems)
+
+
+def check_bench(doc, version, problems):
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("missing or empty \"runs\" array")
+        return
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in BENCH_RUN_KEYS:
+            if key not in run:
+                problems.append(f"{where}: missing key {key!r}")
+        check_stalls(run, where, problems)
+        if version >= 2:
+            for phase in ("combination", "aggregation"):
+                obj = run.get(phase)
+                if not isinstance(obj, dict):
+                    problems.append(
+                        f"{where}: missing per-phase object {phase!r} "
+                        f"(required by hymm-bench/2)")
+                else:
+                    check_stalls(obj, f"{where}.{phase}", problems)
+
+
+def check_tune_cache(doc, _version, problems):
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        problems.append("missing \"entries\" array")
+        return
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}]: not an object")
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL {path}: cannot read: {err}")
+        return 2
+    if not isinstance(doc, dict):
+        print(f"FAIL {path}: top level is not an object")
+        return 1
+    schema = doc.get("schema")
+    problems = []
+    if schema in RUN_REPORT_SCHEMAS:
+        check_run_report(doc, RUN_REPORT_SCHEMAS[schema], problems)
+    elif schema in BENCH_SCHEMAS:
+        check_bench(doc, BENCH_SCHEMAS[schema], problems)
+    elif schema in TUNE_CACHE_SCHEMAS:
+        check_tune_cache(doc, TUNE_CACHE_SCHEMAS[schema], problems)
+    else:
+        problems.append(f"unsupported schema {schema!r}")
+    if problems:
+        print(f"FAIL {path} ({schema}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"OK   {path} ({schema})")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__)
+    status = 0
+    for path in argv[1:]:
+        status = max(status, check_file(path))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -90,6 +90,10 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
   // --- Memory system and address space ---
   MemorySystem ms(config_);
   if (obs != nullptr) ms.attach_observer(obs);
+  // Spatial heatmap grid over the adjacency this layer streams — the
+  // degree-sorted order for hybrid runs (tile coordinates then live
+  // in sorted space; docs/schemas.md documents the caveat).
+  HYMM_OBS(obs, spatial_begin(n, config_.pe_count));
   const AddressRegion w_region = ms.address_map().allocate(
       "W", static_cast<std::size_t>(w.rows()) * chunks * kLineBytes,
       TrafficClass::kWeights);
@@ -164,6 +168,10 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
       rwp.c_class = TrafficClass::kOutput;
       rwp.c_store_kind = StoreKind::kThrough;
       rwp.window = config_.engine_window;
+      // Pure RWP aggregation: every tile is an RWP tile.
+      rwp.spatial_in_grid = true;
+      rwp.spatial_region2 = SpatialRegion::kRwp;
+      rwp.spatial_region3 = SpatialRegion::kRwp;
       RwpEngine engine(ms, rwp);
       run_phase(ms, engine);
       break;
@@ -182,6 +190,9 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
       op.spill_region = spill_region;
       op.accumulate_in_buffer = config_.op_baseline_accumulator;
       op.window = config_.engine_window;
+      // Pure OP aggregation: every tile is an OP tile.
+      op.spatial_in_grid = true;
+      op.spatial_region = SpatialRegion::kOp;
       OpEngine engine(ms, op);
       run_phase(ms, engine);
       break;

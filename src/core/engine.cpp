@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "obs/hooks.hpp"
 
 namespace hymm {
 
@@ -119,6 +120,11 @@ void MemorySystem::fast_forward_to(Cycle target, StallCause cause) {
   const Cycle span = target - now_ - 1;
   stats_.account(cause, span);
   stats_.skipped_cycles += span;
+  // Spatial back-fill: the tile focus only moves at engine retire
+  // events, which a quiescent span by definition lacks, so bulk-
+  // charging the span to the current focus is exactly what the
+  // per-cycle loop would have attributed.
+  HYMM_OBS(obs_, spatial_cycles(span));
   // Replay the footprint samples cycles now_+1 .. target-1 would have
   // taken. Under per-cycle ticking a sample lands exactly at
   // timeline_next_sample (which is > now_ here: tick_components
@@ -178,6 +184,9 @@ Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
     ms.tick_components();
     engine.tick(ms);
     ms.stats().account(engine.cycle_cause());
+    // Spatial attribution mirrors the stall accounting: one cycle to
+    // the currently focused tile (or the residual bucket).
+    HYMM_OBS(ms.observer(), spatial_cycles(1));
     if (mode == FastForwardMode::kOn) {
       if (engine.quiescent() && ms.components_quiescent()) {
         // Nothing changed this cycle and nothing can change before
@@ -215,7 +224,13 @@ Cycle run_phase(MemorySystem& ms, Engine& engine, Cycle max_cycles) {
   }
   // Account trailing DRAM writes still in the bandwidth pipe.
   if (ms.dram().busy_until() > ms.now()) {
-    ms.stats().account(StallCause::kDrain, ms.dram().busy_until() - ms.now());
+    const Cycle drain = ms.dram().busy_until() - ms.now();
+    ms.stats().account(StallCause::kDrain, drain);
+    // Drain cycles flush traffic from many tiles; they land in the
+    // spatial residual bucket (identical under every fast-forward
+    // mode — this block never fast-forwards).
+    HYMM_OBS(ms.observer(), spatial_unfocus());
+    HYMM_OBS(ms.observer(), spatial_cycles(drain));
     while (ms.now() < ms.dram().busy_until()) ms.advance();
   }
   ms.stats().cycles = ms.now();

@@ -50,6 +50,8 @@ HybridAggregationInfo run_hybrid_aggregation(
     op.accumulate_in_buffer = accumulate;
     op.outputs_pinned = accumulate;
     op.window = ms.config().engine_window;
+    op.spatial_in_grid = true;
+    op.spatial_region = SpatialRegion::kOp;
     OpEngine engine(ms, op);
     info.op_phase_cycles = run_phase(ms, engine);
     // Finished region-1 rows stream out exactly once.
@@ -76,6 +78,11 @@ HybridAggregationInfo run_hybrid_aggregation(
     rwp.row_offset = partition.region1_rows;
     rwp.region2_col_boundary = partition.region2_cols;
     rwp.window = ms.config().engine_window;
+    // Spatial attribution follows the exact per-MAC region decision,
+    // not the proportional region_stats split below.
+    rwp.spatial_in_grid = true;
+    rwp.spatial_region2 = SpatialRegion::kRwp;
+    rwp.spatial_region3 = SpatialRegion::kRegion3;
     RwpEngine engine(ms, rwp);
     info.rwp_phase_cycles = run_phase(ms, engine);
     info.region2_macs = engine.region2_macs();

@@ -164,6 +164,13 @@ void OpEngine::tick_stream(MemorySystem& ms) {
       attributed = StallCause::kCompute;
       progressed_ = true;
       const NodeId out_row = head.row + params_.row_offset;
+      if (params_.spatial_in_grid) {
+        // Adjacency coordinate of the retiring non-zero: focus its
+        // tile so subsequent cycles/DRAM/DMB traffic attribute there.
+        HYMM_OBS(ms.observer(),
+                 spatial_mac(out_row, head.col, params_.spatial_region,
+                             head.chunk == 0));
+      }
       ms.pe().mac(head.value, b_lanes(head.col, head.chunk),
                   c_lanes(out_row, head.chunk), ms.now());
       if (head.has_load) {
@@ -260,6 +267,9 @@ void OpEngine::tick_stream(MemorySystem& ms) {
       ms.lsq().all_stores_drained()) {
     stage_ = params_.outputs_pinned ? Stage::kDone : Stage::kMergeSetup;
     progressed_ = true;
+    // Merge/flush/writeback traffic is not attributable to a single
+    // adjacency tile; it lands in the spatial residual bucket.
+    HYMM_OBS(ms.observer(), spatial_unfocus());
   }
 
   // --- Resolve the cycle's cause ---

@@ -61,6 +61,13 @@ struct OpEngineParams {
 
   NodeId row_offset = 0;  // rebase local output rows to global rows
   std::size_t window = 64;
+
+  // Spatial attribution (obs/spatial.hpp): when the sparse operand is
+  // the adjacency matrix itself, retired MACs focus the observer's
+  // tile grid under `spatial_region`. Off (the default) for the
+  // combination phase, whose coordinates live in feature space.
+  bool spatial_in_grid = false;
+  SpatialRegion spatial_region = SpatialRegion::kOp;
 };
 
 class OpEngine final : public Engine {

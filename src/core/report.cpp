@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/table.hpp"
+#include "common/version.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 
@@ -112,7 +113,11 @@ void write_results_csv(std::span<const ExperimentResult> results,
   // Latency quantiles (obs/histogram.hpp); all zero when the run had
   // no observer attached.
   out << ",lsq_lat_p50,lsq_lat_p99,lsq_lat_max"
-         ",dram_lat_p50,dram_lat_p99,dram_lat_max\n";
+         ",dram_lat_p50,dram_lat_p99,dram_lat_max";
+  // Load-imbalance summary (obs/spatial.hpp); all zero unless the run
+  // collected spatial attribution (--spatial / HYMM_SPATIAL).
+  out << ",pe_max_over_mean,pe_cov,pe_gini"
+         ",rowband_max_over_mean,rowband_cov,rowband_gini\n";
   for (const ExperimentResult& r : results) {
     out << csv_quote(r.abbrev) << ',' << r.scale << ','
         << csv_quote(to_string(r.flow)) << ',' << r.cycles << ','
@@ -133,7 +138,17 @@ void write_results_csv(std::span<const ExperimentResult> results,
     const LogHistogram& dram = r.histograms.dram_read_latency;
     out << ',' << lsq.quantile(0.5) << ',' << lsq.quantile(0.99) << ','
         << lsq.max() << ',' << dram.quantile(0.5) << ','
-        << dram.quantile(0.99) << ',' << dram.max() << '\n';
+        << dram.quantile(0.99) << ',' << dram.max();
+    ImbalanceStats pe_imb;
+    ImbalanceStats band_imb;
+    if (!r.spatial.empty()) {
+      pe_imb = compute_imbalance(r.spatial.lane_busy_cycles);
+      const std::vector<std::uint64_t> bands = r.spatial.row_band_cycles();
+      band_imb = compute_imbalance(bands);
+    }
+    out << ',' << pe_imb.max_over_mean << ',' << pe_imb.cov << ','
+        << pe_imb.gini << ',' << band_imb.max_over_mean << ','
+        << band_imb.cov << ',' << band_imb.gini << '\n';
   }
 }
 
@@ -279,6 +294,74 @@ void write_timeseries_json(JsonWriter& w, const TimeSeriesData& ts) {
   w.end_object();
 }
 
+// Schema /6: one imbalance summary (obs/spatial.hpp).
+void write_imbalance_json(JsonWriter& w, const ImbalanceStats& s) {
+  w.begin_object();
+  w.field("count", static_cast<std::uint64_t>(s.count));
+  w.field("mean", s.mean);
+  w.field("max", s.max_value);
+  w.field("max_over_mean", s.max_over_mean);
+  w.field("cov", s.cov);
+  w.field("gini", s.gini);
+  w.end_object();
+}
+
+// Schema /6: the spatial attribution — per-region tile-grid counter
+// arrays (row-major, grid_rows x grid_cols), the residual bucket,
+// the per-PE-lane counters and the imbalance summaries
+// (docs/schemas.md "spatial").
+void write_spatial_json(JsonWriter& w, const SpatialData& sp) {
+  const auto cells = [&](std::string_view name,
+                         const std::vector<std::uint64_t>& v) {
+    w.key(name);
+    w.begin_array();
+    for (const std::uint64_t x : v) w.value(x);
+    w.end_array();
+  };
+  w.begin_object();
+  w.field("nodes", std::uint64_t{sp.nodes});
+  w.field("tile", std::uint64_t{sp.tile});
+  w.field("grid_rows", static_cast<std::uint64_t>(sp.grid_rows));
+  w.field("grid_cols", static_cast<std::uint64_t>(sp.grid_cols));
+  w.key("regions");
+  w.begin_object();
+  for (std::size_t i = 0; i < kSpatialRegionCount; ++i) {
+    const SpatialTileCounters& r = sp.regions[i];
+    if (r.empty()) continue;
+    w.key(spatial_region_key(static_cast<SpatialRegion>(i)));
+    w.begin_object();
+    cells("nnz", r.nnz);
+    cells("macs", r.macs);
+    cells("dmb_hits", r.dmb_hits);
+    cells("dmb_misses", r.dmb_misses);
+    cells("dram_bytes", r.dram_bytes);
+    cells("cycles", r.cycles);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("residual");
+  w.begin_object();
+  w.field("cycles", sp.residual_cycles);
+  w.field("dram_bytes", sp.residual_dram_bytes);
+  w.field("dmb_hits", sp.residual_dmb_hits);
+  w.field("dmb_misses", sp.residual_dmb_misses);
+  w.end_object();
+  w.key("pe");
+  w.begin_object();
+  cells("busy_cycles", sp.lane_busy_cycles);
+  cells("mac_ops", sp.lane_mac_ops);
+  w.field("array_busy_cycles", sp.array_busy_cycles);
+  w.end_object();
+  w.key("imbalance");
+  w.begin_object();
+  w.key("pe_busy");
+  write_imbalance_json(w, compute_imbalance(sp.lane_busy_cycles));
+  w.key("row_band_cycles");
+  write_imbalance_json(w, compute_imbalance(sp.row_band_cycles()));
+  w.end_object();
+  w.end_object();
+}
+
 void write_partition_json(JsonWriter& w, const RegionPartition& p) {
   w.begin_object();
   w.field("nodes", std::uint64_t{p.nodes});
@@ -298,7 +381,7 @@ void write_results_json(std::span<const ExperimentResult> results,
                         const TraceWriter* trace) {
   JsonWriter w(out);
   w.begin_object();
-  w.field("schema", "hymm-run-report/5");
+  w.field("schema", kRunReportSchema);
   w.key("results");
   w.begin_array();
   for (const ExperimentResult& r : results) {
@@ -345,6 +428,10 @@ void write_results_json(std::span<const ExperimentResult> results,
     if (!r.timeseries.empty()) {
       w.key("timeseries");
       write_timeseries_json(w, r.timeseries);
+    }
+    if (!r.spatial.empty()) {
+      w.key("spatial");
+      write_spatial_json(w, r.spatial);
     }
     w.end_object();
   }

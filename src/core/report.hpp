@@ -33,21 +33,24 @@ std::string csv_quote(const std::string& field);
 // Machine-readable experiment dump: one row per result with a fixed
 // header (dataset, flow, cycles, utilization, hit rate, per-class
 // bytes, partial peak, verification, per-cause stall cycles,
-// bottleneck verdict, DRAM bandwidth utilization, and the LSQ/DRAM
-// latency quantiles — zero without an observer). String fields are
-// csv_quote()d.
+// bottleneck verdict, DRAM bandwidth utilization, the LSQ/DRAM
+// latency quantiles — zero without an observer — and the PE/row-band
+// load-imbalance summary — zero without --spatial). String fields
+// are csv_quote()d.
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out);
 
-// JSON run report (schema "hymm-run-report/5"; spec in
+// JSON run report (schema "hymm-run-report/6"; spec in
 // docs/schemas.md): one object per result carrying the full SimStats
 // counter set (whole layer plus the combination/aggregation phase
 // deltas and, for hybrid runs, the per-region breakdown), each with
 // its stall-cycle breakdown and bottleneck verdict, plus the
 // partition, the verification verdict, — when a result was
-// auto-tuned — the tuner decision under "tune", and — when an
+// auto-tuned — the tuner decision under "tune", — when an
 // observer was attached — the latency-histogram summary under
-// "histograms" and the windowed telemetry under "timeseries".
+// "histograms" and the windowed telemetry under "timeseries", and
+// — with --spatial — the tile heatmap and per-PE counters under
+// "spatial".
 // When `metrics` is non-null its counters/gauges/histograms
 // are appended under "metrics"; when `trace` is non-null its event
 // and dropped-instant counts are appended under "trace". Output is

@@ -60,6 +60,20 @@ ExperimentResult run_experiment(const ExperimentRequest& request) {
     if (request.observer->timeseries_enabled()) {
       r.timeseries = request.observer->take_timeseries();
     }
+    if (request.observer->spatial_enabled()) {
+      r.spatial = request.observer->take_spatial();
+      if (!r.spatial.empty()) {
+        // Conservation invariants of the spatial attribution: the
+        // per-lane model retires exactly one array op per busy cycle,
+        // every DRAM line lands in a tile or the residual, and every
+        // accounted cycle is attributed somewhere.
+        HYMM_DCHECK(r.spatial.array_busy_cycles ==
+                    layer.stats.alu_busy_cycles);
+        HYMM_DCHECK(r.spatial.total_dram_bytes() ==
+                    layer.stats.dram_total_bytes());
+        HYMM_DCHECK(r.spatial.total_cycles() == layer.stats.cycles);
+      }
+    }
   }
   return r;
 }

@@ -13,6 +13,7 @@
 #include "graph/datasets.hpp"
 #include "linalg/gcn.hpp"
 #include "obs/histogram.hpp"
+#include "obs/spatial.hpp"
 #include "obs/timeseries.hpp"
 
 /// Everything in the HyMM reproduction — simulator, graph pipeline,
@@ -111,6 +112,14 @@ struct ExperimentResult {
   /// ObserverOptions::timeseries (the --timeseries / HYMM_TIMESERIES
   /// knob). Serialized in the run report (hymm-run-report/5).
   TimeSeriesData timeseries;
+
+  /// Spatial attribution (obs/spatial.hpp): per-PE-lane busy/MAC
+  /// counters and the per-tile heatmap over the adjacency. Empty
+  /// unless the observer was built with ObserverOptions::spatial (the
+  /// --spatial / HYMM_SPATIAL knob). Serialized as the "spatial"
+  /// object of hymm-run-report/6; conservation against `stats` is
+  /// DCHECKed when taken.
+  SpatialData spatial;
 
   /// Wall-clock the modeled hardware would take at `clock_ghz`.
   double runtime_ms(double clock_ghz = 1.0) const {

@@ -125,6 +125,16 @@ void RwpEngine::try_retire(MemorySystem& ms) {
   }
 
   const NodeId out_row = head.row + params_.row_offset;
+  if (params_.spatial_in_grid) {
+    // Adjacency coordinate of the retiring non-zero; the region split
+    // reuses the exact region2_col_boundary comparison below.
+    HYMM_OBS(ms.observer(),
+             spatial_mac(out_row, head.col,
+                         head.col < params_.region2_col_boundary
+                             ? params_.spatial_region2
+                             : params_.spatial_region3,
+                         head.chunk == 0));
+  }
   ms.pe().mac(head.value, b_lanes(head.col, head.chunk),
               c_lanes(out_row, head.chunk), ms.now());
   ms.lsq().release_load(head.load_id);

@@ -46,6 +46,15 @@ struct RwpEngineParams {
 
   // Maximum in-flight non-zeros (bounded further by LSQ capacity).
   std::size_t window = 64;
+
+  // Spatial attribution (obs/spatial.hpp): when the sparse operand is
+  // the adjacency matrix, retired MACs focus the observer's tile grid
+  // — columns below region2_col_boundary under `spatial_region2`, the
+  // rest under `spatial_region3` (pure RWP aggregations pass kRwp for
+  // both). Off for the combination phase.
+  bool spatial_in_grid = false;
+  SpatialRegion spatial_region2 = SpatialRegion::kRwp;
+  SpatialRegion spatial_region3 = SpatialRegion::kRwp;
 };
 
 class RwpEngine final : public Engine {

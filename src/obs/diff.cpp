@@ -46,6 +46,46 @@ void read_region_phases(const JsonValue* regions, RunSnapshot* run) {
   }
 }
 
+// Accumulates one region's per-cell array into `out` (resized to
+// `cells` on first use; short or missing arrays contribute zeros).
+void accumulate_cells(const JsonValue* arr, std::size_t cells,
+                      std::vector<double>* out) {
+  if (arr == nullptr || !arr->is_array()) return;
+  if (out->size() != cells) out->assign(cells, 0.0);
+  const std::size_t n = std::min(cells, arr->array_items.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (arr->array_items[i].is_number()) {
+      (*out)[i] += arr->array_items[i].number_value;
+    }
+  }
+}
+
+// The /6 "spatial" object reduced to a region-summed tile grid of
+// cycles and DRAM bytes. Malformed geometry yields an empty grid.
+TileGrid read_tile_grid(const JsonValue* spatial) {
+  TileGrid grid;
+  if (spatial == nullptr || !spatial->is_object()) return grid;
+  const auto rows = static_cast<std::size_t>(spatial->get_number("grid_rows"));
+  const auto cols = static_cast<std::size_t>(spatial->get_number("grid_cols"));
+  if (rows == 0 || cols == 0) return grid;
+  grid.rows = rows;
+  grid.cols = cols;
+  grid.tile = spatial->get_number("tile");
+  const std::size_t cells = rows * cols;
+  grid.cycles.assign(cells, 0.0);
+  grid.dram_bytes.assign(cells, 0.0);
+  const JsonValue* regions = spatial->find("regions");
+  if (regions != nullptr && regions->is_object()) {
+    for (const auto& [name, region] : regions->object_members) {
+      (void)name;
+      if (!region.is_object()) continue;
+      accumulate_cells(region.find("cycles"), cells, &grid.cycles);
+      accumulate_cells(region.find("dram_bytes"), cells, &grid.dram_bytes);
+    }
+  }
+  return grid;
+}
+
 std::optional<ReportSnapshot> normalize_run_report(const JsonValue& doc,
                                                    std::string* error) {
   ReportSnapshot report;
@@ -78,6 +118,7 @@ std::optional<ReportSnapshot> normalize_run_report(const JsonValue& doc,
     } else if (const JsonValue* aggregation = r.find("aggregation")) {
       run.phases.push_back(read_phase("aggregation", *aggregation));
     }
+    run.tiles = read_tile_grid(r.find("spatial"));
     report.runs.push_back(std::move(run));
   }
   return report;
@@ -128,7 +169,8 @@ std::optional<ReportSnapshot> normalize_bench(const JsonValue& doc,
 std::optional<ReportSnapshot> normalize_report(const JsonValue& doc,
                                                std::string* error) {
   const std::string schema = doc.get_string("schema");
-  if (schema == "hymm-run-report/4" || schema == "hymm-run-report/5") {
+  if (schema == "hymm-run-report/4" || schema == "hymm-run-report/5" ||
+      schema == "hymm-run-report/6") {
     return normalize_run_report(doc, error);
   }
   if (schema == "hymm-bench/1" || schema == "hymm-bench/2") {
@@ -211,6 +253,33 @@ std::vector<RunDiff> diff_reports(const ReportSnapshot& base,
                      [](const DiffRow& a, const DiffRow& b) {
                        return std::abs(a.delta) > std::abs(b.delta);
                      });
+
+    // Spatial tile-grid delta ranking: only meaningful when both
+    // sides attributed over the same geometry (otherwise cell indices
+    // name different adjacency blocks).
+    if (!b.tiles.empty() && c.tiles.rows == b.tiles.rows &&
+        c.tiles.cols == b.tiles.cols && c.tiles.tile == b.tiles.tile) {
+      const std::size_t cells = b.tiles.rows * b.tiles.cols;
+      for (std::size_t i = 0; i < cells; ++i) {
+        TileDiffRow row;
+        row.row = i / b.tiles.cols;
+        row.col = i % b.tiles.cols;
+        row.base_cycles = b.tiles.cycles[i];
+        row.current_cycles = c.tiles.cycles[i];
+        row.cycle_delta = row.current_cycles - row.base_cycles;
+        row.dram_bytes_delta =
+            c.tiles.dram_bytes[i] - b.tiles.dram_bytes[i];
+        if (row.cycle_delta == 0.0 && row.dram_bytes_delta == 0.0) {
+          continue;
+        }
+        diff.tile_rows.push_back(row);
+      }
+      std::stable_sort(diff.tile_rows.begin(), diff.tile_rows.end(),
+                       [](const TileDiffRow& a, const TileDiffRow& b) {
+                         return std::abs(a.cycle_delta) >
+                                std::abs(b.cycle_delta);
+                       });
+    }
     diffs.push_back(std::move(diff));
   }
   return diffs;
@@ -230,40 +299,65 @@ void print_diff(const std::vector<RunDiff>& diffs, std::ostream& out,
     out << ", sim_wall_ms " << Table::fmt(diff.sim_wall_ms_delta, 1)
         << ", skipped_cycles "
         << static_cast<std::int64_t>(diff.skipped_cycles_delta) << '\n';
+    std::string line;
     if (delta == 0.0) {
       out << "  no cycle delta\n";
-      continue;
+    } else {
+      Table table({"phase", "stall", "base", "current", "delta", "share"});
+      std::size_t shown = 0;
+      double omitted = 0.0;
+      std::size_t omitted_rows = 0;
+      for (const DiffRow& row : diff.rows) {
+        if (row.delta == 0.0) continue;
+        if (max_rows != 0 && shown >= max_rows) {
+          omitted += row.delta;
+          ++omitted_rows;
+          continue;
+        }
+        ++shown;
+        table.add_row({row.phase, row.cause,
+                       std::to_string(static_cast<std::int64_t>(row.base)),
+                       std::to_string(static_cast<std::int64_t>(row.current)),
+                       std::to_string(static_cast<std::int64_t>(row.delta)),
+                       Table::fmt_percent(row.delta / delta, 1)});
+      }
+      if (omitted_rows > 0) {
+        table.add_row({"(other)", "-", "-", "-",
+                       std::to_string(static_cast<std::int64_t>(omitted)),
+                       Table::fmt_percent(omitted / delta, 1)});
+      }
+      std::ostringstream rendered;
+      table.print(rendered);
+      // Indent the table under the run header.
+      std::istringstream lines(rendered.str());
+      while (std::getline(lines, line)) out << "  " << line << '\n';
     }
 
-    Table table({"phase", "stall", "base", "current", "delta", "share"});
-    std::size_t shown = 0;
-    double omitted = 0.0;
-    std::size_t omitted_rows = 0;
-    for (const DiffRow& row : diff.rows) {
-      if (row.delta == 0.0) continue;
-      if (max_rows != 0 && shown >= max_rows) {
-        omitted += row.delta;
-        ++omitted_rows;
-        continue;
+    if (!diff.tile_rows.empty()) {
+      out << "  spatial tiles with the largest cycle deltas:\n";
+      Table tiles({"tile", "base", "current", "delta", "dram_bytes"});
+      std::size_t shown = 0;
+      for (const TileDiffRow& row : diff.tile_rows) {
+        if (max_rows != 0 && shown >= max_rows) break;
+        ++shown;
+        tiles.add_row(
+            {"(" + std::to_string(row.row) + "," + std::to_string(row.col) +
+                 ")",
+             std::to_string(static_cast<std::int64_t>(row.base_cycles)),
+             std::to_string(static_cast<std::int64_t>(row.current_cycles)),
+             std::to_string(static_cast<std::int64_t>(row.cycle_delta)),
+             std::to_string(
+                 static_cast<std::int64_t>(row.dram_bytes_delta))});
       }
-      ++shown;
-      table.add_row({row.phase, row.cause,
-                     std::to_string(static_cast<std::int64_t>(row.base)),
-                     std::to_string(static_cast<std::int64_t>(row.current)),
-                     std::to_string(static_cast<std::int64_t>(row.delta)),
-                     Table::fmt_percent(row.delta / delta, 1)});
+      std::ostringstream tiles_rendered;
+      tiles.print(tiles_rendered);
+      std::istringstream tile_lines(tiles_rendered.str());
+      while (std::getline(tile_lines, line)) out << "  " << line << '\n';
+      if (diff.tile_rows.size() > shown) {
+        out << "  (" << diff.tile_rows.size() - shown
+            << " more tiles omitted)\n";
+      }
     }
-    if (omitted_rows > 0) {
-      table.add_row({"(other)", "-", "-", "-",
-                     std::to_string(static_cast<std::int64_t>(omitted)),
-                     Table::fmt_percent(omitted / delta, 1)});
-    }
-    std::ostringstream rendered;
-    table.print(rendered);
-    // Indent the table under the run header.
-    std::istringstream lines(rendered.str());
-    std::string line;
-    while (std::getline(lines, line)) out << "  " << line << '\n';
   }
 }
 

@@ -1,11 +1,13 @@
 // Run-diff root-cause analysis (the hymm_diff tool, bench/hymm_diff):
-// loads two run reports — hymm-run-report/4 or /5, or hymm-bench/1 or
-// /2 snapshots — pairs their runs by (abbrev, flow) and attributes
+// loads two run reports — hymm-run-report/4, /5 or /6, or hymm-bench/1
+// or /2 snapshots — pairs their runs by (abbrev, flow) and attributes
 // each pair's cycle delta to (phase-or-region x stall bucket). The
 // per-phase stall vectors sum exactly to the per-phase cycle counts
 // (the simulator's cycle-accounting invariant), so the attribution
 // rows sum exactly to the cycle delta: no residual bucket, no
-// estimate.
+// estimate. When both /6 reports carry a "spatial" tile grid of the
+// same geometry, the per-tile cycle deltas are ranked as a second
+// table (where in the adjacency did the cycles move).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +30,20 @@ struct PhaseBreakdown {
   std::map<std::string, double> stalls;  ///< stall-cause key -> cycles
 };
 
+// The run-report/6 "spatial" tile grid reduced to what the diff
+// needs: per-tile cycles and DRAM bytes, summed across the hybrid
+// regions (row-major, rows x cols). Empty (rows == 0) when the run
+// carried no spatial attribution.
+struct TileGrid {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  double tile = 0.0;  ///< tile edge in nodes
+  std::vector<double> cycles;
+  std::vector<double> dram_bytes;
+
+  bool empty() const { return rows == 0; }
+};
+
 // One (dataset, dataflow) run normalized out of either report kind.
 struct RunSnapshot {
   std::string abbrev;
@@ -36,6 +52,7 @@ struct RunSnapshot {
   double sim_wall_ms = 0.0;
   double skipped_cycles = 0.0;
   std::vector<PhaseBreakdown> phases;
+  TileGrid tiles;  ///< run-report/6 spatial grid; empty otherwise
 };
 
 // A parsed + normalized report. `kind` is "run-report" or "bench";
@@ -68,6 +85,16 @@ struct DiffRow {
   double delta = 0.0;  ///< current - base
 };
 
+// One tile of a run pair's spatial-grid diff.
+struct TileDiffRow {
+  std::size_t row = 0;  ///< tile-grid row (row-band index)
+  std::size_t col = 0;  ///< tile-grid column
+  double base_cycles = 0.0;
+  double current_cycles = 0.0;
+  double cycle_delta = 0.0;       ///< current - base
+  double dram_bytes_delta = 0.0;  ///< current - base
+};
+
 // The diff of one (abbrev, flow) pair present in both reports.
 struct RunDiff {
   std::string abbrev;
@@ -77,6 +104,10 @@ struct RunDiff {
   double sim_wall_ms_delta = 0.0;
   double skipped_cycles_delta = 0.0;
   std::vector<DiffRow> rows;  ///< ranked by |delta|, largest first
+  /// Per-tile cycle deltas, ranked by |delta| largest first. Only
+  /// filled when both sides carry a spatial grid of identical
+  /// geometry (rows, cols, tile); zero-delta tiles are skipped.
+  std::vector<TileDiffRow> tile_rows;
 
   double cycle_delta() const { return current_cycles - base_cycles; }
 };

@@ -1,5 +1,6 @@
 #include "obs/observer.hpp"
 
+#include <cstdio>
 #include <utility>
 
 namespace hymm {
@@ -18,7 +19,8 @@ Observer::Observer(ObserverOptions options)
     : options_(options),
       timeseries_(options.timeseries_interval > 0
                       ? options.timeseries_interval
-                      : Cycle{1}) {
+                      : Cycle{1}),
+      spatial_(options.spatial, options.spatial_tile) {
   dmb_evictions_ = &metrics_.counter("dmb.evictions");
   dmb_partial_spills_ = &metrics_.counter("dmb.partial_spills");
   dmb_prefetches_ = &metrics_.counter("dmb.prefetches");
@@ -54,6 +56,7 @@ void Observer::begin_run(const std::string& label) {
   // Per-run instruments start clean even if the previous run's series
   // was never taken (e.g. a driver that only wanted the trace).
   timeseries_.reset();
+  spatial_.reset();
   run_hist_ = RunHistograms{};
   ts_has_prev_ = false;
   if (!options_.trace) return;
@@ -75,11 +78,33 @@ void Observer::on_partial_spill(Cycle now) {
 void Observer::on_dmb_prefetch() { dmb_prefetches_->add(); }
 void Observer::on_lsq_forward() { lsq_forwards_->add(); }
 void Observer::on_lsq_reject() { lsq_rejects_->add(); }
-void Observer::on_dram_read() { dram_reads_->add(); }
-void Observer::on_dram_write() { dram_writes_->add(); }
+
+void Observer::on_dram_read() {
+  dram_reads_->add();
+  // Every DRAM transfer moves exactly one line; attributing here
+  // keeps the tile-grid byte sum exact by construction.
+  spatial_.on_dram_bytes(kLineBytes);
+}
+
+void Observer::on_dram_write() {
+  dram_writes_->add();
+  spatial_.on_dram_bytes(kLineBytes);
+}
+
 void Observer::on_smq_refill() { smq_refills_->add(); }
-void Observer::on_pe_mac() { pe_macs_->add(); }
-void Observer::on_pe_merge() { pe_merges_->add(); }
+
+void Observer::on_pe_mac(std::size_t lanes) {
+  pe_macs_->add();
+  spatial_.on_pe_op(lanes, /*is_mac=*/true);
+}
+
+void Observer::on_pe_merge(std::size_t lanes) {
+  pe_merges_->add();
+  spatial_.on_pe_op(lanes, /*is_mac=*/false);
+}
+
+void Observer::on_dmb_hit() { spatial_.on_dmb_hit(); }
+void Observer::on_dmb_miss() { spatial_.on_dmb_miss(); }
 
 void Observer::observe_row_degree(std::uint64_t nnz) {
   row_degree_->observe(nnz);
@@ -126,6 +151,23 @@ TimeSeriesData Observer::take_timeseries() {
   ts_has_prev_ = false;
   return timeseries_.take();
 }
+
+void Observer::spatial_begin(NodeId nodes, std::size_t pe_count) {
+  spatial_.begin(nodes, pe_count);
+}
+
+void Observer::spatial_mac(NodeId row, NodeId col, SpatialRegion region,
+                           bool first_chunk) {
+  spatial_.on_mac(row, col, region, first_chunk);
+}
+
+void Observer::spatial_unfocus() { spatial_.unfocus(); }
+
+void Observer::spatial_cycles(std::uint64_t n) {
+  spatial_.account_cycles(n);
+}
+
+SpatialData Observer::take_spatial() { return spatial_.take(); }
 
 void Observer::trace_timeseries_sample(const TimeSeriesSample& s) {
   if (options_.trace) {
@@ -196,6 +238,17 @@ void Observer::sample_tracks(Cycle now, std::uint64_t dmb_lines,
                    std::string("stall ") +
                        stall_cause_key(static_cast<StallCause>(i)),
                    "cycles", now, stall_cycles[i]);
+  }
+  if (spatial_.active()) {
+    // One cumulative counter per PE lane: in the Perfetto UI the
+    // slope of "PE NN busy" is that lane's utilization right now.
+    const std::vector<std::uint64_t>& lanes =
+        spatial_.data().lane_busy_cycles;
+    char name[16];
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      std::snprintf(name, sizeof name, "PE %02zu busy", i);
+      trace_.counter(pid_, name, "cycles", now, lanes[i]);
+    }
   }
 }
 

@@ -24,6 +24,7 @@
 #include "common/types.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spatial.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
@@ -41,6 +42,12 @@ struct ObserverOptions {
   // default — the series rides --timeseries / HYMM_TIMESERIES.
   bool timeseries = false;
   Cycle timeseries_interval = 256;
+  // Spatial attribution (obs/spatial.hpp): per-PE-lane busy/MAC
+  // counters and the per-tile heatmap over the adjacency. Off by
+  // default — rides --spatial / HYMM_SPATIAL.
+  bool spatial = false;
+  // Explicit tile edge in nodes; 0 picks ~nodes/32 automatically.
+  NodeId spatial_tile = 0;
 };
 
 class Observer {
@@ -69,8 +76,13 @@ class Observer {
   void on_dram_read();
   void on_dram_write();
   void on_smq_refill();
-  void on_pe_mac();
-  void on_pe_merge();
+  // PE-array retires carry the engaged lane count so the spatial
+  // tracker can model per-lane busy/MAC occupancy.
+  void on_pe_mac(std::size_t lanes);
+  void on_pe_merge(std::size_t lanes);
+  // DMB read/accumulate outcome, attributed to the focused tile.
+  void on_dmb_hit();
+  void on_dmb_miss();
   void observe_row_degree(std::uint64_t nnz);
   void observe_merge_depth(std::uint64_t records_outstanding);
   void observe_engine_window(std::uint64_t pending);
@@ -105,6 +117,28 @@ class Observer {
   // Hands the finished series over and resets the schedule.
   TimeSeriesData take_timeseries();
 
+  // --- Spatial attribution (obs/spatial.hpp) ---
+  bool spatial_enabled() const { return options_.spatial; }
+  SpatialTracker& spatial() { return spatial_; }
+  const SpatialTracker& spatial() const { return spatial_; }
+
+  // Sizes the tracker's grid for one layer run (called by
+  // Accelerator::run_layer once the adjacency dimension is known).
+  void spatial_begin(NodeId nodes, std::size_t pe_count);
+  // Engine hook: a MAC retired for adjacency nonzero (row, col) in
+  // `region`; moves the tile focus.
+  void spatial_mac(NodeId row, NodeId col, SpatialRegion region,
+                   bool first_chunk);
+  // Engine hook: subsequent work is not tile-attributable (merge /
+  // flush / drain); lands in the residual bucket.
+  void spatial_unfocus();
+  // Attributes `n` cycles to the focused tile (run_phase per cycle,
+  // fast_forward_to per skipped span).
+  void spatial_cycles(std::uint64_t n);
+  // Hands the finished spatial data over (run_experiment moves it
+  // into the ExperimentResult).
+  SpatialData take_spatial();
+
   // Counter-track sample, called by MemorySystem every
   // sample_interval cycles. `stall_cycles` is the cumulative
   // per-cause cycle-accounting vector (kStallCauseCount entries).
@@ -127,6 +161,7 @@ class Observer {
   MetricsRegistry metrics_;
   TraceWriter trace_;
   TimeSeries timeseries_;
+  SpatialTracker spatial_;
   RunHistograms run_hist_;
   TimeSeriesSample ts_prev_;
   bool ts_has_prev_ = false;

@@ -23,7 +23,7 @@ void PeArray::mac(Value scalar, std::span<const Value> in,
   HYMM_DCHECK(in.size() == out.size());
   mark_busy(now);
   ++stats_.mac_ops;
-  HYMM_OBS(obs_, on_pe_mac());
+  HYMM_OBS(obs_, on_pe_mac(in.size()));
   for (std::size_t i = 0; i < in.size(); ++i) out[i] += scalar * in[i];
 }
 
@@ -32,14 +32,15 @@ void PeArray::add(std::span<const Value> in, std::span<Value> out,
   HYMM_DCHECK(in.size() == out.size());
   mark_busy(now);
   ++stats_.merge_adds;
-  HYMM_OBS(obs_, on_pe_merge());
+  HYMM_OBS(obs_, on_pe_merge(in.size()));
   for (std::size_t i = 0; i < in.size(); ++i) out[i] += in[i];
 }
 
 void PeArray::merge_op(Cycle now) {
   mark_busy(now);
   ++stats_.merge_adds;
-  HYMM_OBS(obs_, on_pe_merge());
+  // A merge op engages the whole array width.
+  HYMM_OBS(obs_, on_pe_merge(pe_count_));
 }
 
 void PeArray::stall(Cycle now) { last_issue_cycle_ = now; }

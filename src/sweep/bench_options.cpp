@@ -62,6 +62,13 @@ std::uint64_t parse_timeseries(const std::string& source,
   return n == 1 ? 256 : n;
 }
 
+// "0" = off, "1" = on with auto tile sizing, N >= 2 = on with an
+// N-node tile edge (obs/spatial.hpp clamps the resulting grid).
+std::uint64_t parse_spatial(const std::string& source,
+                            const std::string& value) {
+  return parse_u64_value(source, value, 0);
+}
+
 }  // namespace
 
 double BenchOptions::scale_for(const DatasetSpec& spec) const {
@@ -87,6 +94,9 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
   if (const char* v = env("HYMM_JSON_DIR")) options.json_dir = v;
   if (const char* v = env("HYMM_TIMESERIES")) {
     options.timeseries_interval = parse_timeseries("HYMM_TIMESERIES", v);
+  }
+  if (const char* v = env("HYMM_SPATIAL")) {
+    options.spatial_tile = parse_spatial("HYMM_SPATIAL", v);
   }
   if (const char* v = env("HYMM_THREADS")) {
     options.threads = static_cast<unsigned>(
@@ -133,6 +143,11 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
       // (never consumes the following argument).
       options.timeseries_interval = parse_timeseries(
           "--timeseries", inline_value ? *inline_value : "1");
+    } else if (arg == "--spatial") {
+      // Value optional: bare --spatial means auto tile sizing (never
+      // consumes the following argument).
+      options.spatial_tile =
+          parse_spatial("--spatial", inline_value ? *inline_value : "1");
     } else if (arg == "--autotune") {
       // Value optional: bare --autotune means the full measured
       // search (never consumes the following argument).

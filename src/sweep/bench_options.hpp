@@ -12,6 +12,11 @@
 ///   HYMM_TIMESERIES     --timeseries[=N]   windowed telemetry every N
 ///                                          cycles (bare flag / "1" =
 ///                                          256; "0" = off)
+///   HYMM_SPATIAL        --spatial[=TILE]   per-PE / per-tile spatial
+///                                          attribution (bare flag /
+///                                          "1" = auto tile size;
+///                                          N >= 2 = a TILE-node tile
+///                                          edge; "0" = off)
 ///   HYMM_THREADS        --threads=N        sweep workers (0 = auto)
 ///                       --seed=N           workload seed (default 42)
 ///   HYMM_AUTOTUNE       --autotune[=MODE]  partition auto-tuner mode:
@@ -54,6 +59,10 @@ struct BenchOptions {
   /// Windowed time-series sampling interval in cycles; 0 = off. Bare
   /// --timeseries (or HYMM_TIMESERIES=1) selects the default 256.
   std::uint64_t timeseries_interval = 0;
+  /// Spatial attribution (obs/spatial.hpp): 0 = off, 1 = on with an
+  /// automatically sized tile grid, N >= 2 = on with an N-node tile
+  /// edge. Bare --spatial (or HYMM_SPATIAL=1) selects auto sizing.
+  std::uint64_t spatial_tile = 0;
   unsigned threads = 0;               ///< 0 = HYMM_THREADS/auto
   std::uint64_t seed = 42;
   /// Partition auto-tuner (src/tune/): how hybrid cells pick their
@@ -66,10 +75,10 @@ struct BenchOptions {
   /// --full-datasets, else the dataset's bench default.
   double scale_for(const DatasetSpec& spec) const;
   /// True when any observer-backed output was requested (trace or
-  /// report dirs, or the windowed time-series).
+  /// report dirs, the windowed time-series, or spatial attribution).
   bool observing() const {
     return !trace_dir.empty() || !json_dir.empty() ||
-           timeseries_interval > 0;
+           timeseries_interval > 0 || spatial_tile > 0;
   }
 
   /// getenv-shaped hook so tests can inject an environment.

@@ -134,6 +134,37 @@ TEST(BenchOptionsTest, TraceAndJsonDirs) {
   EXPECT_FALSE(parse({}).observing());
 }
 
+// The spatial heatmap knob: off by default, bare --spatial means
+// auto tile sizing (and never consumes the following argument), =N
+// picks an explicit tile edge, =0 turns it back off.
+TEST(BenchOptionsTest, SpatialKnob) {
+  EXPECT_EQ(parse({}).spatial_tile, 0u);
+
+  const BenchOptions bare = parse({"--spatial"});
+  EXPECT_EQ(bare.spatial_tile, 1u);
+  EXPECT_TRUE(bare.observing());
+
+  EXPECT_EQ(parse({"--spatial=64"}).spatial_tile, 64u);
+  EXPECT_EQ(parse({"--spatial=0"}).spatial_tile, 0u);
+  EXPECT_FALSE(parse({"--spatial=0"}).observing());
+
+  std::vector<std::string> rest;
+  const BenchOptions opts = parse({"--spatial", "--seed=9"}, {}, &rest);
+  EXPECT_EQ(opts.spatial_tile, 1u);
+  EXPECT_EQ(opts.seed, 9u);
+  EXPECT_TRUE(rest.empty());
+
+  EXPECT_EQ(parse({}, {{"HYMM_SPATIAL", "32"}}).spatial_tile, 32u);
+  // Flags win over the environment.
+  EXPECT_EQ(parse({"--spatial=16"}, {{"HYMM_SPATIAL", "32"}}).spatial_tile,
+            16u);
+
+  const std::string err = error_of({}, {{"HYMM_SPATIAL", "huge"}});
+  EXPECT_NE(err.find("huge"), std::string::npos) << err;
+  EXPECT_NE(err.find("HYMM_SPATIAL"), std::string::npos) << err;
+  EXPECT_NE(error_of({"--spatial=banana"}), "");
+}
+
 TEST(BenchOptionsTest, UnrecognizedFlagsPassThrough) {
   std::vector<std::string> rest;
   const BenchOptions opts =

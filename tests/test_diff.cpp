@@ -127,6 +127,104 @@ TEST(DiffNormalize, RunReportHybridRegionsReplaceAggregation) {
   EXPECT_DOUBLE_EQ(run.phases[1].cycles + run.phases[2].cycles, 600.0);
 }
 
+// A minimal hymm-run-report/6 report: one CR/HyMM run with a 2x2
+// spatial grid whose per-cell cycles the tests can vary.
+std::string report6_with_spatial(double cell0_cycles,
+                                 double cell3_cycles = 100.0) {
+  std::ostringstream oss;
+  oss << R"({
+    "schema": "hymm-run-report/6",
+    "results": [
+      {
+        "abbrev": "CR", "flow": "HyMM", "cycles": 1000,
+        "stats": { "skipped_cycles": 0,
+                   "stalls": { "compute": 1000 } },
+        "combination": { "stalls": { "compute": 400 } },
+        "aggregation": { "stalls": { "compute": 600 } },
+        "spatial": {
+          "nodes": 100, "tile": 50, "grid_rows": 2, "grid_cols": 2,
+          "regions": {
+            "op": { "cycles": [)"
+      << cell0_cycles << R"(, 0, 0, 0],
+                    "dram_bytes": [64, 0, 0, 0] },
+            "rwp": { "cycles": [0, 0, 0, )"
+      << cell3_cycles << R"(],
+                     "dram_bytes": [0, 0, 0, 128] }
+          },
+          "residual": { "cycles": 0, "dram_bytes": 0 },
+          "pe": { "busy_cycles": [1, 2], "mac_ops": [1, 2],
+                  "array_busy_cycles": 3 }
+        }
+      }
+    ]
+  })";
+  return oss.str();
+}
+
+TEST(DiffNormalize, RunReport6SpatialBecomesARegionSummedTileGrid) {
+  const ReportSnapshot report =
+      parse_snapshot(report6_with_spatial(900.0));
+  ASSERT_EQ(report.runs.size(), 1u);
+  const TileGrid& tiles = report.runs[0].tiles;
+  ASSERT_FALSE(tiles.empty());
+  EXPECT_EQ(tiles.rows, 2u);
+  EXPECT_EQ(tiles.cols, 2u);
+  EXPECT_DOUBLE_EQ(tiles.tile, 50.0);
+  // Cells sum across the op and rwp regions.
+  ASSERT_EQ(tiles.cycles.size(), 4u);
+  EXPECT_DOUBLE_EQ(tiles.cycles[0], 900.0);
+  EXPECT_DOUBLE_EQ(tiles.cycles[3], 100.0);
+  EXPECT_DOUBLE_EQ(tiles.dram_bytes[0], 64.0);
+  EXPECT_DOUBLE_EQ(tiles.dram_bytes[3], 128.0);
+}
+
+TEST(DiffNormalize, RunReport5WithoutSpatialHasEmptyTiles) {
+  const ReportSnapshot report = parse_snapshot(R"({
+    "schema": "hymm-run-report/5",
+    "results": [
+      { "abbrev": "CR", "flow": "RWP", "cycles": 500,
+        "stats": { "stalls": { "compute": 500 } } }
+    ]
+  })");
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_TRUE(report.runs[0].tiles.empty());
+}
+
+TEST(DiffReports, RanksTileDeltasWhenGeometriesMatch) {
+  const ReportSnapshot base = parse_snapshot(report6_with_spatial(900.0));
+  const ReportSnapshot current =
+      parse_snapshot(report6_with_spatial(600.0, 400.0));
+  const std::vector<RunDiff> diffs = diff_reports(base, current);
+  ASSERT_EQ(diffs.size(), 1u);
+  ASSERT_EQ(diffs[0].tile_rows.size(), 2u);
+  // Largest |cycle delta| first: tile (0,0) moved -300, (1,1) +300.
+  EXPECT_EQ(diffs[0].tile_rows[0].row, 0u);
+  EXPECT_EQ(diffs[0].tile_rows[0].col, 0u);
+  EXPECT_DOUBLE_EQ(diffs[0].tile_rows[0].cycle_delta, -300.0);
+  EXPECT_EQ(diffs[0].tile_rows[1].row, 1u);
+  EXPECT_EQ(diffs[0].tile_rows[1].col, 1u);
+  EXPECT_DOUBLE_EQ(diffs[0].tile_rows[1].cycle_delta, 300.0);
+}
+
+TEST(DiffReports, SkipsTileDeltasWhenOneSideLacksSpatial) {
+  const ReportSnapshot base = parse_snapshot(report6_with_spatial(900.0));
+  ReportSnapshot current = base;
+  current.runs[0].tiles = TileGrid{};
+  EXPECT_TRUE(diff_reports(current, base)[0].tile_rows.empty());
+}
+
+TEST(DiffPrint, RendersTileDeltaTable) {
+  const ReportSnapshot base = parse_snapshot(report6_with_spatial(900.0));
+  const ReportSnapshot current =
+      parse_snapshot(report6_with_spatial(600.0, 400.0));
+  std::ostringstream out;
+  print_diff(diff_reports(base, current), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("spatial tiles"), std::string::npos) << text;
+  EXPECT_NE(text.find("(0,0)"), std::string::npos) << text;
+  EXPECT_NE(text.find("(1,1)"), std::string::npos) << text;
+}
+
 TEST(DiffNormalize, RejectsUnsupportedSchema) {
   const std::optional<JsonValue> doc =
       json_parse(R"({ "schema": "hymm-bench/99", "runs": [] })");

@@ -151,6 +151,75 @@ TEST(LogHistogram, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(empty.min(), 77u);
 }
 
+TEST(LogHistogram, MergeOfTwoEmptiesStaysEmpty) {
+  // Neither side may leak its min() sentinel into the other: the
+  // merge of two empty histograms must report zeros everywhere, and
+  // still accept observations afterwards.
+  LogHistogram a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.quantile(0.5), 0u);
+  EXPECT_TRUE(a.nonzero_buckets().empty());
+  a.observe(9);
+  EXPECT_EQ(a.min(), 9u);
+  EXPECT_EQ(a.max(), 9u);
+}
+
+TEST(LogHistogram, MergeHandlesTopBucketValues) {
+  // Values at the very top of the u64 range land in the last log
+  // bucket; merging them must not overflow bucket arithmetic or lose
+  // the exact min/max/sum tracking.
+  const std::uint64_t huge = ~std::uint64_t{0};  // 2^64 - 1
+  LogHistogram a;
+  a.observe(huge);
+  LogHistogram b;
+  b.observe(huge - 1);
+  b.observe(3);
+
+  LogHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.min(), 3u);
+  EXPECT_EQ(merged.max(), huge);
+  EXPECT_EQ(merged.sum(), huge + (huge - 1) + 3);  // mod 2^64, both sides agree
+  // quantile(1.0) is capped at the exact max, not the bucket edge.
+  EXPECT_EQ(merged.quantile(1.0), huge);
+  // The two huge samples share the top bucket.
+  EXPECT_EQ(merged.nonzero_buckets().size(), 2u);
+}
+
+TEST(LogHistogram, MergeThenQuantileEqualsSingleHistogram) {
+  // Splitting one stream across N shards and merging them must give
+  // the same quantiles as observing the whole stream directly — at
+  // every probe point, including the extremes and overflow-adjacent
+  // values.
+  std::mt19937 rng(21);
+  std::uniform_int_distribution<int> shift(0, 63);
+  LogHistogram shards[4];
+  LogHistogram direct;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = std::uint64_t{1} << shift(rng);
+    v += std::uniform_int_distribution<std::uint64_t>(0, v - 1)(rng);
+    shards[i % 4].observe(v);
+    direct.observe(v);
+  }
+  LogHistogram merged;
+  for (const LogHistogram& shard : shards) merged.merge(shard);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.sum(), direct.sum());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  for (const double q :
+       {0.0, 0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged.nonzero_buckets().size(),
+            direct.nonzero_buckets().size());
+}
+
 // The bounded-error property against an exact oracle: for random
 // streams drawn from distributions with very different shapes, every
 // quantile estimate brackets the true order statistic within the

@@ -77,10 +77,13 @@ TEST(ResultsCsv, GoldenHeaderAndRow) {
       "stall_dmb_miss,stall_accumulator_conflict,stall_drain,"
       "bottleneck,dram_bw_utilization,"
       "lsq_lat_p50,lsq_lat_p99,lsq_lat_max,"
-      "dram_lat_p50,dram_lat_p99,dram_lat_max\n"
+      "dram_lat_p50,dram_lat_p99,dram_lat_max,"
+      "pe_max_over_mean,pe_cov,pe_gini,"
+      "rowband_max_over_mean,rowband_cov,rowband_gini\n"
       "CR,0.5,HyMM,1000,400,600,2048,0.25,0.75,4096,1.5,"
       "64,32,128,64,192,96,256,128,320,160,384,192,2016,1,0,"
       "700,100,200,0,0,0,0,0,0,compute-bound,0.0315,"
+      "0,0,0,0,0,0,"
       "0,0,0,0,0,0\n";
   EXPECT_EQ(out.str(), expected);
 }
@@ -135,7 +138,7 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   const std::string doc = out.str();
   ASSERT_TRUE(json_is_valid(doc)) << doc;
 
-  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/5\""),
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/6\""),
             std::string::npos);
   const auto expect_field = [&doc](const std::string& key,
                                    std::uint64_t value) {
@@ -257,6 +260,82 @@ TEST(ResultsJson, CarriesHistogramsAndTimeseriesWhenPresent) {
   EXPECT_NE(doc.find("\"interval\": 256"), std::string::npos);
   EXPECT_NE(doc.find("\"lsq_depth\""), std::string::npos);
   EXPECT_NE(doc.find("\"dram_bytes\""), std::string::npos);
+}
+
+// Schema /6: the spatial object only appears when the run collected
+// spatial attribution, and then carries the per-region tile grid, the
+// residual bucket, the per-PE counters and the imbalance summaries.
+TEST(ResultsJson, OmitsSpatialWhenEmpty) {
+  std::vector<ExperimentResult> results = {make_result()};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc));
+  EXPECT_EQ(doc.find("\"spatial\""), std::string::npos);
+}
+
+ExperimentResult make_spatial_result() {
+  ExperimentResult r = make_result();
+  SpatialData& sp = r.spatial;
+  sp.nodes = 100;
+  sp.tile = 25;
+  sp.grid_rows = 4;
+  sp.grid_cols = 4;
+  auto& rwp =
+      sp.regions[static_cast<std::size_t>(SpatialRegion::kRwp)];
+  const std::size_t cells = sp.grid_rows * sp.grid_cols;
+  rwp.nnz.assign(cells, 0);
+  rwp.macs.assign(cells, 0);
+  rwp.dmb_hits.assign(cells, 0);
+  rwp.dmb_misses.assign(cells, 0);
+  rwp.dram_bytes.assign(cells, 0);
+  rwp.cycles.assign(cells, 0);
+  rwp.nnz[0] = 7;
+  rwp.macs[0] = 14;
+  rwp.cycles[0] = 900;
+  rwp.cycles[5] = 100;
+  rwp.dram_bytes[0] = 512;
+  sp.residual_cycles = 42;
+  sp.residual_dram_bytes = 64;
+  sp.lane_busy_cycles = {400, 300, 200, 100};
+  sp.lane_mac_ops = {40, 30, 20, 10};
+  sp.array_busy_cycles = 400;
+  return r;
+}
+
+TEST(ResultsJson, CarriesSpatialWhenPresent) {
+  std::vector<ExperimentResult> results = {make_spatial_result()};
+  std::ostringstream out;
+  write_results_json(results, out);
+  const std::string doc = out.str();
+  ASSERT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"spatial\""), std::string::npos);
+  EXPECT_NE(doc.find("\"grid_rows\": 4"), std::string::npos);
+  EXPECT_NE(doc.find("\"tile\": 25"), std::string::npos);
+  // Only the touched region appears...
+  EXPECT_NE(doc.find("\"rwp\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"region3\""), std::string::npos);
+  // ...with its grid arrays, the residual and the PE counters.
+  EXPECT_NE(doc.find("\"residual\""), std::string::npos);
+  EXPECT_NE(doc.find("\"busy_cycles\""), std::string::npos);
+  EXPECT_NE(doc.find("\"array_busy_cycles\": 400"), std::string::npos);
+  // Imbalance summaries: max lane (400) over mean (250) = 1.6.
+  EXPECT_NE(doc.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(doc.find("\"pe_busy\""), std::string::npos);
+  EXPECT_NE(doc.find("\"row_band_cycles\""), std::string::npos);
+  EXPECT_NE(doc.find("\"max_over_mean\": 1.6"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+}
+
+TEST(ResultsCsv, SpatialResultFillsImbalanceColumns) {
+  std::vector<ExperimentResult> results = {make_spatial_result()};
+  std::ostringstream out;
+  write_results_csv(results, out);
+  const std::string csv = out.str();
+  // The lane-busy imbalance lands in the pe_* columns: max/mean 1.6.
+  EXPECT_NE(csv.find(",1.6,"), std::string::npos) << csv;
+  // Row-band cycles are (900, 100, 0, 0): max/mean 900/250 = 3.6.
+  EXPECT_NE(csv.find(",3.6,"), std::string::npos) << csv;
 }
 
 TEST(ResultsJson, AppendsMetricsRegistryWhenProvided) {

@@ -1,38 +1,54 @@
-// Full two-layer GCN inference (the classic Kipf-Welling shape) on a
-// Cora-like workload, using the GcnModel API: each layer's SpDeMM
-// pair runs on the simulated hardware, ReLU and re-sparsification
-// happen on the host between layers, and the final output is verified
-// end-to-end against the host reference.
+// Full two-layer GCN inference (the classic Kipf-Welling shape) using
+// the GcnModel request API: each layer's SpDeMM pair runs on the
+// simulated hardware, ReLU and re-sparsification happen on the host
+// between layers, and the final output is verified end-to-end against
+// the host reference.
+//
+// Configuration rides the shared bench knobs (strictly validated;
+// a bad value or unknown flag exits 2):
+//
+//   gcn_inference [--datasets CR] [--scale 0.25] [--seed N] ...
+//
+// With no selection, Cora at quarter scale keeps this under a second.
 #include <iostream>
 
 #include "common/table.hpp"
 #include "core/gcn_model.hpp"
 #include "graph/datasets.hpp"
 #include "linalg/gcn.hpp"
+#include "sweep/bench_options.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hymm;
 
-  // Cora at quarter scale keeps this example under a second.
-  const DatasetSpec cora = *find_dataset("CR");
-  const GcnWorkload workload = build_workload(cora, /*scale=*/0.25);
+  const BenchOptions opts = BenchOptions::from_env_and_args(argc, argv);
+  const DatasetSpec spec =
+      opts.datasets_explicit ? opts.datasets.front() : *find_dataset("CR");
+  const double scale =
+      opts.scale || opts.full_datasets || opts.datasets_explicit
+          ? opts.scale_for(spec)
+          : 0.25;
+  const GcnWorkload workload = build_workload(spec, scale, opts.seed);
   const CsrMatrix a_hat = normalize_adjacency(workload.adjacency);
 
-  // Layer dims: feature_length -> 16 -> 7 (Cora has 7 classes).
+  // Layer dims: feature_length -> hidden -> 7 (Cora has 7 classes).
+  const NodeId hidden = workload.spec.layer_dim;
   const GcnModel model = GcnModel::with_random_weights(
-      a_hat, workload.spec.feature_length, {16, 7}, /*seed=*/10);
+      a_hat, workload.spec.feature_length, {hidden, 7}, /*seed=*/10);
 
   std::cout << "Two-layer GCN inference on " << workload.spec.name << " (x"
             << workload.scale << " scale, " << workload.spec.nodes
-            << " nodes, dims " << workload.spec.feature_length
-            << " -> 16 -> 7)\n\n";
+            << " nodes, dims " << workload.spec.feature_length << " -> "
+            << hidden << " -> 7)\n\n";
 
   Table table({"Dataflow", "Total cycles", "Runtime @1GHz", "DRAM",
                "Degree-sort cost", "Verified"});
   for (const Dataflow flow : {Dataflow::kOuterProduct,
                               Dataflow::kRowWiseProduct, Dataflow::kHybrid}) {
-    const GcnModel::InferenceResult result =
-        model.run(flow, workload.features, AcceleratorConfig{});
+    GcnModel::InferenceRequest request;
+    request.flow = flow;
+    request.features = &workload.features;
+    const GcnModel::InferenceResult result = model.run(request);
     table.add_row(
         {to_string(flow), std::to_string(result.total_cycles),
          Table::fmt(result.runtime_ms(), 3) + "ms",

@@ -11,5 +11,8 @@ namespace hymm {
 inline constexpr const char* kRunReportSchema = "hymm-run-report/6";
 // Perf snapshots written by bench/perf_regression.
 inline constexpr const char* kBenchSchema = "hymm-bench/2";
+// Serving reports written by write_serve_json (serve/report.cpp) for
+// bench/serve_bench.
+inline constexpr const char* kServeReportSchema = "hymm-serve-report/1";
 
 }  // namespace hymm

@@ -1,6 +1,7 @@
 #include "core/gcn_model.hpp"
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "linalg/gcn.hpp"
 
 namespace hymm {
@@ -30,22 +31,53 @@ GcnModel GcnModel::with_random_weights(CsrMatrix a_hat, NodeId in_dim,
   return GcnModel(std::move(a_hat), std::move(weights));
 }
 
-GcnModel::InferenceResult GcnModel::run(Dataflow flow,
-                                        const CsrMatrix& features,
-                                        const AcceleratorConfig& config,
-                                        bool verify) const {
+GcnModel::InferenceResult GcnModel::run(const InferenceRequest& request) const {
+  HYMM_CHECK_MSG(request.features != nullptr,
+                 "InferenceRequest.features is required");
+  const CsrMatrix& features = *request.features;
   HYMM_CHECK(features.rows() == a_hat_.rows());
   HYMM_CHECK(features.cols() == weights_.front().rows());
-  const Accelerator accelerator(config);
+  const bool pass_sort =
+      request.flow == Dataflow::kHybrid && request.sort != nullptr;
+  if (pass_sort) {
+    HYMM_CHECK_MSG(request.sorted_features != nullptr,
+                   "InferenceRequest.sort without sorted_features");
+    HYMM_CHECK(request.sort->perm.size() == a_hat_.rows());
+  }
+  const Accelerator accelerator(request.config);
 
   InferenceResult result;
-  CsrMatrix x = features;
+  CsrMatrix x = features;        // original node order
+  CsrMatrix x_sorted;            // x under request.sort (hybrid passthrough)
   for (std::size_t l = 0; l < weights_.size(); ++l) {
-    LayerRunResult layer =
-        accelerator.run_layer(flow, a_hat_, x, weights_[l]);
+    LayerRunRequest layer_request;
+    layer_request.flow = request.flow;
+    layer_request.a_hat = &a_hat_;
+    layer_request.x = &x;
+    layer_request.w = &weights_[l];
+    layer_request.observer = request.observer;
+    if (pass_sort) {
+      // The degree sort is computed once for the whole network (the
+      // adjacency never changes between layers) — only the inner
+      // layers' re-sparsified activations need a row permutation.
+      layer_request.sort = request.sort;
+      if (l == 0) {
+        layer_request.sorted_features = request.sorted_features;
+      } else {
+        Timer permute_timer;
+        x_sorted = permute_feature_rows(x, request.sort->perm);
+        result.total_preprocess_ms += permute_timer.elapsed_ms();
+        layer_request.sorted_features = &x_sorted;
+      }
+    }
+    LayerRunResult layer = accelerator.run_layer(layer_request);
     result.total_cycles += layer.stats.cycles;
     result.total_dram_bytes += layer.stats.dram_total_bytes();
-    result.total_preprocess_ms += layer.preprocess_ms;
+    // With a precomputed sort every layer reports the same shared
+    // sort cost; charge it once instead of per layer.
+    if (!pass_sort || l == 0) {
+      result.total_preprocess_ms += layer.preprocess_ms;
+    }
     const bool last = l + 1 == weights_.size();
     if (last) {
       result.output = layer.output;
@@ -56,13 +88,25 @@ GcnModel::InferenceResult GcnModel::run(Dataflow flow,
     }
     result.layers.push_back(std::move(layer));
   }
-  if (verify) {
+  if (request.verify) {
     const DenseMatrix expected = reference(features);
     result.max_abs_err = DenseMatrix::max_abs_diff(result.output, expected);
     result.verified =
         DenseMatrix::allclose(result.output, expected, 1e-3, 1e-4);
   }
   return result;
+}
+
+GcnModel::InferenceResult GcnModel::run(Dataflow flow,
+                                        const CsrMatrix& features,
+                                        const AcceleratorConfig& config,
+                                        bool verify) const {
+  InferenceRequest request;
+  request.flow = flow;
+  request.features = &features;
+  request.config = config;
+  request.verify = verify;
+  return run(request);
 }
 
 DenseMatrix GcnModel::reference(const CsrMatrix& features) const {

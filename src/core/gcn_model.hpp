@@ -11,6 +11,7 @@
 
 #include "core/accelerator.hpp"
 #include "graph/csr.hpp"
+#include "graph/degree_sort.hpp"
 #include "linalg/dense.hpp"
 
 namespace hymm {
@@ -42,13 +43,46 @@ class GcnModel {
     bool verified = false;
     double max_abs_err = 0.0;
 
+    // Wall-clock the modeled hardware would take at clock_ghz.
+    // Convention (shared with ExperimentResult::runtime_ms and pinned
+    // by tests): cycles / (clock_ghz * 1e9) seconds, i.e.
+    // cycles / (clock_ghz * 1e6) milliseconds — at 1 GHz, 1e6 cycles
+    // is exactly 1 ms.
     double runtime_ms(double clock_ghz = 1.0) const {
       return static_cast<double>(total_cycles) / (clock_ghz * 1e6);
     }
   };
 
-  // Simulates the whole network under one dataflow. When verify is
-  // set, the output is compared against reference(features).
+  // Everything one inference needs, named instead of positional —
+  // mirrors ExperimentRequest (core/runner.hpp) and LayerRunRequest
+  // (core/accelerator.hpp). `features` is required. `observer`
+  // (optional) collects metrics/trace events for every layer; it
+  // never affects timing. `sort` + `sorted_features` optionally hand
+  // the hybrid its degree-sorting preprocessing precomputed (e.g. the
+  // sweep executor's PreparedWorkload::sort()): when set, the sort is
+  // applied once and shared by every layer instead of re-sorting
+  // a_hat per layer, so total_preprocess_ms drops to the host-side
+  // row-permutation cost. sorted_features must be `features` under
+  // sort->perm; ignored for the homogeneous dataflows. Simulated
+  // cycles are identical either way — sorting is host preprocessing.
+  struct InferenceRequest {
+    Dataflow flow = Dataflow::kRowWiseProduct;  // dataflow to simulate
+    const CsrMatrix* features = nullptr;        // required: input features
+    AcceleratorConfig config;                   // hardware parameters
+    bool verify = true;          // compare output against reference()
+    Observer* observer = nullptr;            // optional; never affects timing
+    const DegreeSortResult* sort = nullptr;  // optional precomputed sort
+    const CsrMatrix* sorted_features = nullptr;  // features under `sort`
+  };
+
+  // Simulates the whole network under the request's dataflow. When
+  // request.verify is set, the output is compared against
+  // reference(*request.features).
+  InferenceResult run(const InferenceRequest& request) const;
+
+  // Deprecated positional overload (kept for one PR — new callers
+  // fill an InferenceRequest); equivalent to a request with only
+  // flow/features/config/verify set.
   InferenceResult run(Dataflow flow, const CsrMatrix& features,
                       const AcceleratorConfig& config,
                       bool verify = true) const;

@@ -1,0 +1,111 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+#include "graph/coo.hpp"
+#include "linalg/gcn.hpp"
+
+namespace hymm {
+
+SampledSubgraph sample_subgraph(const CsrMatrix& adjacency,
+                                const CsrMatrix& features,
+                                NodeId target_nodes, std::uint64_t seed) {
+  const NodeId n = adjacency.rows();
+  HYMM_CHECK(adjacency.cols() == n);
+  HYMM_CHECK(features.rows() == n);
+  target_nodes = std::clamp<NodeId>(target_nodes, 1, n);
+
+  Rng rng(seed);
+  // new_id[old] == kUnvisited marks unsampled nodes; sampled nodes get
+  // ids in BFS visit order so the subgraph keeps locality structure.
+  constexpr NodeId kUnvisited = ~NodeId{0};
+  std::vector<NodeId> new_id(n, kUnvisited);
+  std::vector<NodeId> picked;  // visit order: new -> old
+  picked.reserve(target_nodes);
+  std::deque<NodeId> frontier;
+  while (picked.size() < target_nodes) {
+    if (frontier.empty()) {
+      // Component exhausted (or first start): draw a fresh unvisited
+      // seed. Linear probing from a random point keeps this O(n)
+      // total and deterministic.
+      NodeId start = static_cast<NodeId>(rng.next_below(n));
+      while (new_id[start] != kUnvisited) start = (start + 1) % n;
+      new_id[start] = static_cast<NodeId>(picked.size());
+      picked.push_back(start);
+      frontier.push_back(start);
+      if (picked.size() >= target_nodes) break;
+    }
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    for (const NodeId neighbour : adjacency.row_cols(node)) {
+      if (new_id[neighbour] != kUnvisited) continue;
+      new_id[neighbour] = static_cast<NodeId>(picked.size());
+      picked.push_back(neighbour);
+      frontier.push_back(neighbour);
+      if (picked.size() >= target_nodes) break;
+    }
+  }
+
+  SampledSubgraph sample;
+  CooMatrix sub_adj(target_nodes, target_nodes);
+  for (NodeId new_row = 0; new_row < target_nodes; ++new_row) {
+    const NodeId old_row = picked[new_row];
+    const auto cols = adjacency.row_cols(old_row);
+    const auto values = adjacency.row_values(old_row);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const NodeId mapped = new_id[cols[i]];
+      if (mapped == kUnvisited) continue;  // edge leaves the sample
+      sub_adj.add(new_row, mapped, values[i]);
+    }
+  }
+  sample.adjacency = CsrMatrix::from_coo(std::move(sub_adj));
+
+  CooMatrix sub_features(target_nodes, features.cols());
+  for (NodeId new_row = 0; new_row < target_nodes; ++new_row) {
+    const NodeId old_row = picked[new_row];
+    const auto cols = features.row_cols(old_row);
+    const auto values = features.row_values(old_row);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      sub_features.add(new_row, cols[i], values[i]);
+    }
+  }
+  sample.features = CsrMatrix::from_coo(std::move(sub_features));
+  return sample;
+}
+
+std::vector<RequestClass> build_request_classes(const GcnWorkload& workload,
+                                                std::uint64_t seed) {
+  const NodeId n = workload.adjacency.rows();
+  std::vector<RequestClass> classes;
+
+  RequestClass full;
+  full.name = "full";
+  full.weight = 1.0;
+  full.nodes = n;
+  full.a_hat = normalize_adjacency(workload.adjacency);
+  full.features = workload.features;
+  classes.push_back(std::move(full));
+
+  const auto add_sampled = [&](const std::string& name, double weight,
+                               NodeId target, std::uint64_t sample_seed) {
+    SampledSubgraph sample = sample_subgraph(
+        workload.adjacency, workload.features, target, sample_seed);
+    RequestClass cls;
+    cls.name = name;
+    cls.weight = weight;
+    cls.nodes = sample.adjacency.rows();
+    cls.a_hat = normalize_adjacency(sample.adjacency);
+    cls.features = std::move(sample.features);
+    classes.push_back(std::move(cls));
+  };
+  // Floors keep the samples meaningful on tiny test graphs.
+  add_sampled("half", 3.0, std::max<NodeId>(n / 2, std::min<NodeId>(n, 32)),
+              seed + 1);
+  add_sampled("small", 6.0, std::max<NodeId>(n / 8, std::min<NodeId>(n, 16)),
+              seed + 2);
+  return classes;
+}
+
+}  // namespace hymm

@@ -69,6 +69,18 @@ std::uint64_t parse_spatial(const std::string& source,
   return parse_u64_value(source, value, 0);
 }
 
+// Strictly positive arrival rate (requests per second of modeled
+// time); an open-loop generator with rate 0 would never arrive.
+double parse_arrival_rate(const std::string& source,
+                          const std::string& value) {
+  const double rate = parse_double_value(source, value, 0.0, 1e12);
+  if (rate <= 0.0) {
+    throw UsageError("invalid value '" + value + "' for " + source +
+                     " (must be > 0)");
+  }
+  return rate;
+}
+
 }  // namespace
 
 double BenchOptions::scale_for(const DatasetSpec& spec) const {
@@ -106,6 +118,22 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
     options.autotune = parse_autotune("HYMM_AUTOTUNE", v);
   }
   if (const char* v = env("HYMM_TUNE_CACHE")) options.tune_cache = v;
+  if (const char* v = env("HYMM_ARRIVAL_RATE")) {
+    options.arrival_rate = parse_arrival_rate("HYMM_ARRIVAL_RATE", v);
+  }
+  if (const char* v = env("HYMM_REQUESTS")) {
+    options.requests = parse_u64_value("HYMM_REQUESTS", v, 1, 100'000'000);
+  }
+  if (const char* v = env("HYMM_BATCH")) {
+    options.batch = parse_u64_value("HYMM_BATCH", v, 1, 4096);
+  }
+  if (const char* v = env("HYMM_QUEUE_CAP")) {
+    options.queue_capacity =
+        parse_u64_value("HYMM_QUEUE_CAP", v, 1, 1u << 20);
+  }
+  if (const char* v = env("HYMM_REUSE")) {
+    options.serve_reuse = parse_u64_value("HYMM_REUSE", v, 0, 1) != 0;
+  }
 
   // --- --key=value / --key value flags ---
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -155,6 +183,18 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
           "--autotune", inline_value ? *inline_value : "measured");
     } else if (arg == "--tune-cache") {
       options.tune_cache = next();
+    } else if (arg == "--arrival-rate") {
+      options.arrival_rate = parse_arrival_rate("--arrival-rate", next());
+    } else if (arg == "--requests") {
+      options.requests =
+          parse_u64_value("--requests", next(), 1, 100'000'000);
+    } else if (arg == "--batch") {
+      options.batch = parse_u64_value("--batch", next(), 1, 4096);
+    } else if (arg == "--queue-cap") {
+      options.queue_capacity =
+          parse_u64_value("--queue-cap", next(), 1, 1u << 20);
+    } else if (arg == "--reuse") {
+      options.serve_reuse = parse_u64_value("--reuse", next(), 0, 1) != 0;
     } else if (unrecognized != nullptr) {
       // Pass the flag through untouched (original spelling), plus any
       // following non-flag tokens that may be its values.

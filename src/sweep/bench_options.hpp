@@ -24,6 +24,17 @@
 ///                                          --autotune = measured)
 ///   HYMM_TUNE_CACHE     --tune-cache=FILE  hymm-tune-cache/1 file the
 ///                                          tuner persists decisions in
+///   HYMM_ARRIVAL_RATE   --arrival-rate=R   serving: open-loop Poisson
+///                                          arrival rate in requests per
+///                                          second of modeled time
+///   HYMM_REQUESTS       --requests=N       serving: arrivals to generate
+///   HYMM_BATCH          --batch=B          serving: max requests batched
+///                                          behind one weight fetch
+///   HYMM_QUEUE_CAP      --queue-cap=N      serving: bounded queue
+///                                          capacity (excess arrivals
+///                                          are dropped)
+///   HYMM_REUSE          --reuse=0|1        serving: inter-layer XW
+///                                          buffer reuse on/off
 ///
 /// Flags accept "--flag value" and "--flag=value" and win over the
 /// environment. Unknown dataset tokens and malformed numbers fail
@@ -70,6 +81,24 @@ struct BenchOptions {
   AutotuneMode autotune = AutotuneMode::kOff;
   /// Tune-cache file (hymm-tune-cache/1); empty = in-memory only.
   std::string tune_cache;
+
+  // --- Serving knobs (src/serve/; consumed by serve_bench) ---
+  /// Open-loop Poisson arrival rate in requests per second of modeled
+  /// time at the config's clock; 0 = the binary's default. Strictly
+  /// positive when given.
+  double arrival_rate = 0.0;
+  /// Number of arrivals the request generator produces; 0 = the
+  /// binary's default.
+  std::uint64_t requests = 0;
+  /// Maximum requests batched behind one weight fetch; 0 = the
+  /// binary's default.
+  std::uint64_t batch = 0;
+  /// Bounded request-queue capacity (waiting requests; arrivals
+  /// beyond it are dropped); 0 = the binary's default.
+  std::uint64_t queue_capacity = 0;
+  /// Inter-layer XW buffer reuse in the serving model; nullopt = the
+  /// binary's default (on).
+  std::optional<bool> serve_reuse;
 
   /// Effective scale for one dataset: the override, else 1.0 under
   /// --full-datasets, else the dataset's bench default.

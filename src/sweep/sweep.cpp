@@ -59,6 +59,37 @@ unsigned resolve_thread_count(unsigned requested) {
   return hw > 0 ? hw : 1;
 }
 
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const unsigned workers = std::min<unsigned>(
+      resolve_thread_count(threads), static_cast<unsigned>(count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(std::move(options)) {}
 

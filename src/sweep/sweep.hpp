@@ -108,6 +108,17 @@ struct SweepOptions {
 /// validated) falling back to hardware_concurrency; always >= 1.
 unsigned resolve_thread_count(unsigned requested);
 
+/// Runs body(i) for every i in [0, count) on up to `threads` workers
+/// (0 = resolve_thread_count's auto policy; 1 = the calling thread).
+/// Indices are claimed from an atomic counter, so the set of calls —
+/// and therefore the result — is independent of the schedule as long
+/// as body(i) writes only to its own index-i slot (the same
+/// discipline SweepRunner follows; the serving cost library builds
+/// its per-class simulations through this). Worker exceptions are
+/// rethrown on the calling thread (the first one wins).
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& body);
+
 /// Schedules a SweepSpec grid onto worker threads (see file comment
 /// for the determinism and observer-group rules).
 class SweepRunner {

@@ -184,5 +184,61 @@ TEST(BenchOptionsTest, MissingValueIsError) {
   EXPECT_NE(error_of({"--scale="}), "");
 }
 
+TEST(BenchOptionsTest, ServeKnobDefaultsAreUnset) {
+  const BenchOptions opts = parse({});
+  EXPECT_EQ(opts.arrival_rate, 0.0);
+  EXPECT_EQ(opts.requests, 0u);
+  EXPECT_EQ(opts.batch, 0u);
+  EXPECT_EQ(opts.queue_capacity, 0u);
+  EXPECT_FALSE(opts.serve_reuse.has_value());
+}
+
+TEST(BenchOptionsTest, ServeKnobsParseFromFlags) {
+  const BenchOptions opts =
+      parse({"--arrival-rate=2500.5", "--requests", "96", "--batch=8",
+             "--queue-cap=32", "--reuse=0"});
+  EXPECT_DOUBLE_EQ(opts.arrival_rate, 2500.5);
+  EXPECT_EQ(opts.requests, 96u);
+  EXPECT_EQ(opts.batch, 8u);
+  EXPECT_EQ(opts.queue_capacity, 32u);
+  ASSERT_TRUE(opts.serve_reuse.has_value());
+  EXPECT_FALSE(*opts.serve_reuse);
+}
+
+TEST(BenchOptionsTest, ServeKnobsParseFromEnvAndFlagsWin) {
+  const std::map<std::string, std::string> env = {
+      {"HYMM_ARRIVAL_RATE", "1000"}, {"HYMM_REQUESTS", "10"},
+      {"HYMM_BATCH", "2"},           {"HYMM_QUEUE_CAP", "4"},
+      {"HYMM_REUSE", "1"}};
+  const BenchOptions from_env = parse({}, env);
+  EXPECT_DOUBLE_EQ(from_env.arrival_rate, 1000.0);
+  EXPECT_EQ(from_env.requests, 10u);
+  EXPECT_EQ(from_env.batch, 2u);
+  EXPECT_EQ(from_env.queue_capacity, 4u);
+  ASSERT_TRUE(from_env.serve_reuse.has_value());
+  EXPECT_TRUE(*from_env.serve_reuse);
+
+  const BenchOptions overridden =
+      parse({"--arrival-rate=2000", "--requests=20"}, env);
+  EXPECT_DOUBLE_EQ(overridden.arrival_rate, 2000.0);
+  EXPECT_EQ(overridden.requests, 20u);
+  EXPECT_EQ(overridden.batch, 2u);  // env survives where no flag given
+}
+
+TEST(BenchOptionsTest, ServeKnobsFailFastOnBadValues) {
+  const std::string rate_err = error_of({}, {{"HYMM_ARRIVAL_RATE", "0"}});
+  EXPECT_NE(rate_err.find("HYMM_ARRIVAL_RATE"), std::string::npos)
+      << rate_err;
+  EXPECT_NE(error_of({"--arrival-rate=-5"}), "");
+  EXPECT_NE(error_of({"--arrival-rate=banana"}), "");
+  EXPECT_NE(error_of({"--requests=0"}), "");
+  EXPECT_NE(error_of({"--batch=0"}), "");
+  EXPECT_NE(error_of({"--batch=100000"}), "");
+  EXPECT_NE(error_of({"--queue-cap=0"}), "");
+  EXPECT_NE(error_of({"--reuse=2"}), "");
+  const std::string reuse_err = error_of({}, {{"HYMM_REUSE", "maybe"}});
+  EXPECT_NE(reuse_err.find("HYMM_REUSE"), std::string::npos) << reuse_err;
+}
+
 }  // namespace
 }  // namespace hymm

@@ -58,8 +58,10 @@ TEST_P(GcnModelAllFlows, TwoLayerInferenceVerifies) {
   const GcnModel model =
       GcnModel::with_random_weights(a_hat, 40, {16, 8}, 11);
   const CsrMatrix x = small_features(a_hat.rows(), 40, 12);
-  const GcnModel::InferenceResult result =
-      model.run(GetParam(), x, AcceleratorConfig{});
+  GcnModel::InferenceRequest request;
+  request.flow = GetParam();
+  request.features = &x;
+  const GcnModel::InferenceResult result = model.run(request);
   EXPECT_TRUE(result.verified) << "max err " << result.max_abs_err;
   ASSERT_EQ(result.layers.size(), 2u);
   EXPECT_EQ(result.total_cycles,
@@ -99,6 +101,67 @@ TEST(GcnModel, HybridPaysPreprocessingPerLayer) {
   EXPECT_EQ(baseline.total_preprocess_ms, 0.0);
 }
 
+// The deprecated positional overload must stay exactly equivalent to
+// a request with only flow/features/config/verify set until it is
+// removed.
+TEST(GcnModel, PositionalOverloadMatchesRequestApi) {
+  const CsrMatrix a_hat = small_a_hat();
+  const GcnModel model =
+      GcnModel::with_random_weights(a_hat, 32, {16, 8}, 21);
+  const CsrMatrix x = small_features(a_hat.rows(), 32, 22);
+  for (const Dataflow flow : {Dataflow::kRowWiseProduct,
+                              Dataflow::kOuterProduct, Dataflow::kHybrid}) {
+    GcnModel::InferenceRequest request;
+    request.flow = flow;
+    request.features = &x;
+    const auto via_request = model.run(request);
+    const auto via_positional = model.run(flow, x, AcceleratorConfig{});
+    EXPECT_EQ(via_request.total_cycles, via_positional.total_cycles);
+    EXPECT_EQ(via_request.total_dram_bytes, via_positional.total_dram_bytes);
+    EXPECT_TRUE(DenseMatrix::allclose(via_request.output,
+                                      via_positional.output));
+  }
+}
+
+// A precomputed degree sort handed through the request changes only
+// the host-side preprocessing cost, never the simulated cycles.
+TEST(GcnModel, HybridSortPassthroughKeepsCyclesIdentical) {
+  const CsrMatrix a_hat = small_a_hat();
+  const GcnModel model =
+      GcnModel::with_random_weights(a_hat, 24, {16, 8}, 23);
+  const CsrMatrix x = small_features(a_hat.rows(), 24, 24);
+
+  GcnModel::InferenceRequest plain;
+  plain.flow = Dataflow::kHybrid;
+  plain.features = &x;
+  const auto baseline = model.run(plain);
+
+  const DegreeSortResult sort = degree_sort(a_hat);
+  const CsrMatrix x_sorted = permute_feature_rows(x, sort.perm);
+  GcnModel::InferenceRequest presorted = plain;
+  presorted.sort = &sort;
+  presorted.sorted_features = &x_sorted;
+  const auto result = model.run(presorted);
+
+  EXPECT_EQ(result.total_cycles, baseline.total_cycles);
+  EXPECT_EQ(result.total_dram_bytes, baseline.total_dram_bytes);
+  EXPECT_TRUE(result.verified) << "max err " << result.max_abs_err;
+  // sorted_features is required whenever a sort is passed.
+  GcnModel::InferenceRequest missing = presorted;
+  missing.sorted_features = nullptr;
+  EXPECT_THROW(model.run(missing), CheckError);
+}
+
+// Pins the runtime_ms convention shared with ExperimentResult:
+// cycles / (clock_ghz * 1e6) milliseconds.
+TEST(GcnModel, RuntimeMsConventionPinned) {
+  GcnModel::InferenceResult result;
+  result.total_cycles = 2'000'000;
+  EXPECT_DOUBLE_EQ(result.runtime_ms(1.0), 2.0);  // 2M cycles @1GHz = 2ms
+  EXPECT_DOUBLE_EQ(result.runtime_ms(2.0), 1.0);  // twice the clock, half
+  EXPECT_DOUBLE_EQ(result.runtime_ms(), result.runtime_ms(1.0));
+}
+
 TEST(GcnModel, ShapeMismatchesRejected) {
   const CsrMatrix a_hat = small_a_hat();
   const GcnModel model = GcnModel::with_random_weights(a_hat, 24, {16}, 1);
@@ -110,6 +173,9 @@ TEST(GcnModel, ShapeMismatchesRejected) {
   EXPECT_THROW(model.run(Dataflow::kRowWiseProduct, wrong_nodes,
                          AcceleratorConfig{}),
                CheckError);
+  // The request API requires features.
+  GcnModel::InferenceRequest request;
+  EXPECT_THROW(model.run(request), CheckError);
 }
 
 TEST(Report, StatsSummaryMentionsKeyCounters) {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -161,6 +162,25 @@ TEST(SweepRunnerTest, GroupsShareOneObserverAndKeepGridOrder) {
 
 // A worker exception surfaces on the calling thread instead of being
 // swallowed (here: a grid whose dataset cannot be built).
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 4u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(hits.size(), threads,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const std::atomic<int>& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+  // Zero items is a no-op, not a hang.
+  parallel_for(0, 4, [](std::size_t) { FAIL() << "body ran for count=0"; });
+}
+
+TEST(ParallelForTest, PropagatesTheFirstException) {
+  EXPECT_THROW(parallel_for(8, 4,
+                            [](std::size_t i) {
+                              if (i % 2 == 1) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
 TEST(SweepRunnerTest, WorkerExceptionsPropagate) {
   SweepSpec spec;
   spec.datasets = {*find_dataset("CR")};

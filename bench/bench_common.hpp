@@ -28,6 +28,7 @@
 #include "core/runner.hpp"
 #include "graph/datasets.hpp"
 #include "obs/observer.hpp"
+#include "sim/checkpoint.hpp"
 #include "sweep/bench_options.hpp"
 #include "sweep/sweep.hpp"
 #include "tune/tuner.hpp"
@@ -54,9 +55,11 @@ inline void print_header(const std::string& title,
                "values — see EXPERIMENTS.md)\n\n";
 }
 
-// Warns when a dataflow run failed functional verification.
+// Warns when a dataflow run failed functional verification. Sampled
+// runs are skipped: they produce no functional output by design.
 inline void check_verified(const DataflowComparison& comparison) {
   for (const ExperimentResult& r : comparison.results) {
+    if (r.sample.enabled) continue;
     if (!r.verified) {
       std::cerr << "[bench] WARNING: " << r.abbrev << "/"
                 << to_string(r.flow)
@@ -137,6 +140,12 @@ inline std::vector<std::vector<DataflowComparison>> run_config_sweep(
     std::cerr << "[bench] simulating " << first.spec.abbrev << " at scale "
               << first.scale << " ..." << std::endl;
   };
+  sweep_options.sample = opts.sample;
+  // Warm-state checkpoints are opt-in via --checkpoint-dir: cells
+  // sharing a combination workload (and repeat invocations, via the
+  // on-disk store) restore it instead of re-simulating.
+  CheckpointStore checkpoints(opts.checkpoint_dir);
+  if (!opts.checkpoint_dir.empty()) sweep_options.checkpoints = &checkpoints;
 
   SweepRunner runner(sweep_options);
   const SweepRun run = runner.run(spec);
@@ -195,6 +204,11 @@ inline std::vector<DataflowComparison> run_autotuned_datasets(
     std::vector<TuneDecision>* decisions_out = nullptr) {
   Tuner tuner(opts.tune_cache);
   WorkloadCache cache;
+  // Opt-in warm-state checkpoints; the tuner's measured mode is the
+  // big win — every candidate shares one combination checkpoint.
+  CheckpointStore checkpoints(opts.checkpoint_dir);
+  CheckpointStore* store =
+      opts.checkpoint_dir.empty() ? nullptr : &checkpoints;
   std::vector<DataflowComparison> out;
   for (const DatasetSpec& dataset : opts.datasets) {
     const double scale = opts.scale_for(dataset);
@@ -203,7 +217,7 @@ inline std::vector<DataflowComparison> run_autotuned_datasets(
     const std::shared_ptr<const PreparedWorkload> prepared =
         cache.get(dataset, scale, opts.seed);
     const TuneDecision decision =
-        tuner.tune(prepared, base, opts.autotune, opts.threads);
+        tuner.tune(prepared, base, opts.autotune, opts.threads, store);
     std::cerr << "[bench]   threshold " << decision.fixed_threshold << " -> "
               << decision.threshold
               << (decision.cache_hit ? " (cache hit)" : "") << "\n";
@@ -230,6 +244,8 @@ inline std::vector<DataflowComparison> run_autotuned_datasets(
     sweep_options.group_key = [](const SweepCell&) {
       return std::string("all");
     };
+    sweep_options.sample = opts.sample;
+    sweep_options.checkpoints = store;
     SweepRunner runner(sweep_options);
     const SweepRun run = runner.run(spec);
 

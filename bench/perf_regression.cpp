@@ -107,6 +107,15 @@ int main(int argc, char** argv) {
       w.end_object();
       w.field("bottleneck", to_string(r.stats.bottleneck()));
       w.field("verified", r.verified);
+      // Schema /3: sampled-run labeling. perf_compare refuses to gate
+      // a sampled snapshot against an exact one and widens its cycle
+      // tolerance by the labeled error bound on sampled-vs-sampled
+      // pairs (docs/performance.md).
+      w.field("sampled", r.sample.enabled);
+      if (r.sample.enabled) {
+        w.field("sample_fraction", r.sample.fraction);
+        w.field("sample_rel_error_bound", r.sample.rel_error_bound());
+      }
       w.key("combination");
       write_phase(w, r.combination_cycles, r.combination_stats);
       w.key("aggregation");

@@ -27,6 +27,7 @@
 #include "graph/generator.hpp"
 #include "graph/io.hpp"
 #include "obs/observer.hpp"
+#include "sim/checkpoint.hpp"
 #include "sweep/bench_options.hpp"
 #include "sweep/sweep.hpp"
 #include "tune/tune_cache.hpp"
@@ -57,6 +58,13 @@ void usage() {
       "  --fifo               FIFO eviction instead of LRU\n"
       "  --no-accumulator     disable the near-memory accumulator\n"
       "  --csv <file>         append machine-readable results\n"
+      "Performance (see docs/performance.md):\n"
+      "  --sample[=F]         sampled simulation: estimate cycles from a\n"
+      "                       seeded band subset (bare = 0.25; also\n"
+      "                       HYMM_SAMPLE; results labeled, not verified)\n"
+      "  --checkpoint-dir <d> reuse warm combination state across runs\n"
+      "                       (also HYMM_CHECKPOINT_DIR; ignored when an\n"
+      "                       observer — --trace/--json — is attached)\n"
       "Observability (see DESIGN.md \"Observability\"):\n"
       "  --trace <file>       Chrome/Perfetto trace of the run(s)\n"
       "  --json <file>        JSON run report (full counter set)\n"
@@ -228,6 +236,9 @@ int main(int argc, char** argv) {
                          opts.spatial_tile > 0;
   SweepOptions sweep_options;
   sweep_options.threads = opts.threads;
+  sweep_options.sample = opts.sample;
+  CheckpointStore checkpoints(opts.checkpoint_dir);
+  if (!opts.checkpoint_dir.empty()) sweep_options.checkpoints = &checkpoints;
   sweep_options.observe = observing;
   sweep_options.observer_options.trace = !config.trace_path.empty();
   sweep_options.observer_options.sample_interval = config.obs_sample_interval;
@@ -256,9 +267,17 @@ int main(int argc, char** argv) {
         r.flow == Dataflow::kHybrid) {
       r.tune = to_tune_info(tune_decision);
     }
-    std::cout << to_string(r.flow) << " ("
-              << (r.verified ? "verified" : "MISMATCH")
-              << ", max err " << r.max_abs_err << ")\n";
+    if (r.sample.enabled) {
+      // Sampled runs produce no functional output, so there is
+      // nothing to verify — label the estimate instead.
+      std::cout << to_string(r.flow) << " (sampled, fraction "
+                << r.sample.fraction << ", cycles ±"
+                << r.sample.rel_error_bound() * 100.0 << "%)\n";
+    } else {
+      std::cout << to_string(r.flow) << " ("
+                << (r.verified ? "verified" : "MISMATCH")
+                << ", max err " << r.max_abs_err << ")\n";
+    }
     print_stats_summary(r.stats, std::cout, "  ",
                         r.dram_peak_bytes_per_cycle);
     if (!r.histograms.empty()) {

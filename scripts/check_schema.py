@@ -7,16 +7,22 @@ Usage:
 Each file must declare a supported schema and satisfy that schema's
 structural requirements:
 
-  hymm-run-report/4|5|6   "results" array; every result carries the
+  hymm-run-report/4|5|6|7 "results" array; every result carries the
                           required run keys and a "stats" object with
                           a stall breakdown. "histograms"/"timeseries"
                           need /5+; "spatial" needs /6 (and its
                           per-region cell arrays must match the
                           declared grid geometry, with "pe" counters
-                          and an "imbalance" summary present).
-  hymm-bench/1|2          "runs" array; every run carries abbrev,
+                          and an "imbalance" summary present);
+                          "sample"/"checkpoint" need /7 (a result
+                          labeled "sampled": true must carry a
+                          "sample" object with per-phase band counts
+                          and error bars).
+  hymm-bench/1|2|3        "runs" array; every run carries abbrev,
                           flow, cycles and a stall breakdown; /2 runs
-                          also the per-phase breakdown.
+                          also the per-phase breakdown; /3 runs also
+                          the "sampled" label (sampled runs carry
+                          sample_fraction and sample_rel_error_bound).
   hymm-tune-cache/1       "entries" array of cached tuner decisions.
   hymm-serve-report/1     serve_bench output: "config", "classes",
                           "summary" (latency quantile blocks),
@@ -37,8 +43,11 @@ RUN_REPORT_SCHEMAS = {
     "hymm-run-report/4": 4,
     "hymm-run-report/5": 5,
     "hymm-run-report/6": 6,
+    "hymm-run-report/7": 7,
 }
-BENCH_SCHEMAS = {"hymm-bench/1": 1, "hymm-bench/2": 2}
+BENCH_SCHEMAS = {"hymm-bench/1": 1, "hymm-bench/2": 2, "hymm-bench/3": 3}
+SAMPLE_PHASE_KEYS = ("bands_total", "bands_simulated", "nnz_total",
+                     "nnz_simulated", "cycles_estimate", "cycles_stderr")
 TUNE_CACHE_SCHEMAS = {"hymm-tune-cache/1": 1}
 SERVE_REPORT_SCHEMAS = {"hymm-serve-report/1": 1}
 
@@ -99,6 +108,28 @@ def check_spatial(spatial, where, problems):
         problems.append(f"{where}: spatial has no \"imbalance\" object")
 
 
+def check_sample(sample, where, problems):
+    for key in ("fraction", "seed", "cycles_estimate", "cycles_stderr",
+                "rel_error_bound"):
+        if not isinstance(sample.get(key), (int, float)):
+            problems.append(f"{where}: {key!r} is not a number")
+    for phase in ("combination", "aggregation"):
+        obj = sample.get(phase)
+        if not isinstance(obj, dict):
+            problems.append(f"{where}: missing per-phase object {phase!r}")
+            continue
+        for key in SAMPLE_PHASE_KEYS:
+            if not isinstance(obj.get(key), (int, float)):
+                problems.append(f"{where}.{phase}: {key!r} is not a number")
+        bands = obj.get("bands_total")
+        simulated = obj.get("bands_simulated")
+        if isinstance(bands, int) and isinstance(simulated, int) \
+                and simulated > bands:
+            problems.append(
+                f"{where}.{phase}: bands_simulated {simulated} exceeds "
+                f"bands_total {bands}")
+
+
 def check_run_report(doc, version, problems):
     results = doc.get("results")
     if not isinstance(results, list) or not results:
@@ -118,7 +149,8 @@ def check_run_report(doc, version, problems):
         else:
             check_stalls(stats, f"{where}.stats", problems)
         for key, since in (("histograms", 5), ("timeseries", 5),
-                           ("spatial", 6)):
+                           ("spatial", 6), ("sample", 7),
+                           ("checkpoint", 7)):
             if key in result and version < since:
                 problems.append(
                     f"{where}: {key!r} needs hymm-run-report/{since}+ "
@@ -126,6 +158,14 @@ def check_run_report(doc, version, problems):
         spatial = result.get("spatial")
         if version >= 6 and isinstance(spatial, dict):
             check_spatial(spatial, where, problems)
+        if version >= 7 and result.get("sampled"):
+            sample = result.get("sample")
+            if not isinstance(sample, dict):
+                problems.append(
+                    f"{where}: \"sampled\" is true but there is no "
+                    "\"sample\" object")
+            else:
+                check_sample(sample, f"{where}.sample", problems)
 
 
 def check_bench(doc, version, problems):
@@ -151,6 +191,18 @@ def check_bench(doc, version, problems):
                         f"(required by hymm-bench/2)")
                 else:
                     check_stalls(obj, f"{where}.{phase}", problems)
+        if version >= 3:
+            sampled = run.get("sampled")
+            if not isinstance(sampled, bool):
+                problems.append(
+                    f"{where}: missing boolean \"sampled\" label "
+                    f"(required by hymm-bench/3)")
+            elif sampled:
+                for key in ("sample_fraction", "sample_rel_error_bound"):
+                    if not isinstance(run.get(key), (int, float)):
+                        problems.append(
+                            f"{where}: sampled run: {key!r} is not a "
+                            "number")
 
 
 def check_serve_report(doc, _version, problems):

@@ -1,8 +1,20 @@
 #!/usr/bin/env sh
-# Profile the simulator hot loop with gprofng (binutils' profiler;
-# `perf` is often unavailable in containers, gprofng needs no kernel
-# support). Collects a CPU-time experiment over the perf-gate sweep
-# and prints the flat function profile plus the hottest callers.
+# Profile the simulator hot loop with whichever profiler this machine
+# actually has. Tries, in order:
+#
+#   1. perf record   (kernel support + perf_event access required;
+#                     probed with a real one-shot collection, since
+#                     the binary often exists where the syscall is
+#                     forbidden)
+#   2. gprofng       (binutils >= 2.39; userspace-only, works in
+#                     containers)
+#   3. gprof         (needs the binary built with -pg; detected by
+#                     the run leaving a gmon.out behind)
+#
+# and exits 2 with a clear message when none of the three can
+# profile here. HYMM_PROFILER=perf|gprofng|gprof skips the probe
+# order and demands that one profiler (failing loudly if it cannot
+# run instead of silently falling through).
 #
 # Usage:
 #     scripts/profile_hotloop.sh [BINARY [ARGS...]]
@@ -13,26 +25,21 @@
 #         --rev profile --out /tmp/hymm_profile
 #
 # Knobs:
-#     HYMM_PROFILE_DIR   experiment directory (default: a fresh
-#                        /tmp/hymm_hotloop.<pid>.er; gprofng refuses
-#                        to overwrite an existing experiment)
+#     HYMM_PROFILER      force one backend: perf | gprofng | gprof
+#     HYMM_PROFILE_DIR   perf.data / experiment output location
+#                        (default: a fresh /tmp/hymm_hotloop.<pid>.*)
 #     HYMM_NO_FASTFWD=1  profile the legacy per-cycle loop instead —
 #                        useful to see what the fast-forward removed
 #
 # Reading the output: sort by exclusive CPU time. The known hot spots
-# and their fixes are catalogued in docs/architecture.md — before the PR that
-# added it, LoadStoreQueue::tick's retry loop plus
+# and their fixes are catalogued in docs/architecture.md — before the
+# PR that added this script, LoadStoreQueue::tick's retry loop plus
 # DenseMatrixBuffer::read's directory probes dominated RWP/HyMM cells
-# at ~20x the OP engine's per-cycle cost. Note gprofng's totals
+# at ~20x the OP engine's per-cycle cost. Sampling profilers
 # undersample short runs; treat the *distribution* as meaningful, not
 # the absolute seconds.
 
 set -eu
-
-if ! command -v gprofng >/dev/null 2>&1; then
-    echo "profile_hotloop.sh: gprofng not found (binutils >= 2.39)" >&2
-    exit 2
-fi
 
 if [ "$#" -gt 0 ]; then
     : # explicit binary + args given
@@ -47,21 +54,105 @@ else
     exit 2
 fi
 
-experiment="${HYMM_PROFILE_DIR:-/tmp/hymm_hotloop.$$.er}"
-rm -rf "$experiment"
+# A profiler "is available" only if it can actually collect here —
+# perf in particular is often installed where perf_event_open is
+# forbidden (containers, perf_event_paranoid), so probe with a real
+# one-shot collection, not just command -v.
+perf_works() {
+    command -v perf >/dev/null 2>&1 &&
+        perf record -o /dev/null --quiet -- true >/dev/null 2>&1
+}
 
-echo "== collecting: $* -> $experiment" >&2
-gprofng collect app -o "$experiment" "$@"
+run_perf() {
+    data="${HYMM_PROFILE_DIR:-/tmp/hymm_hotloop.$$.perf.data}"
+    echo "== collecting (perf record): $* -> $data" >&2
+    perf record -g -o "$data" -- "$@"
+    echo "== flat profile (exclusive CPU time)"
+    perf report --stdio --no-children -i "$data" | head -60
+    echo "== hottest call chains"
+    perf report --stdio -g --no-demangle=no -i "$data" | head -80
+    echo "profile kept at $data (rerun views with:" \
+         "perf report -i $data)" >&2
+}
 
-echo "== flat profile (exclusive CPU time)"
-gprofng display text -functions "$experiment"
-
-echo "== callers/callees of the top frame"
-top_frame=$(gprofng display text -functions "$experiment" |
-    awk 'NR > 5 && $1 ~ /^[0-9]/ { for (i = 5; i <= NF; i++) printf "%s%s", $i, (i < NF ? " " : "\n"); exit }')
-if [ -n "${top_frame:-}" ]; then
+run_gprofng() {
+    experiment="${HYMM_PROFILE_DIR:-/tmp/hymm_hotloop.$$.er}"
+    rm -rf "$experiment"
+    echo "== collecting (gprofng): $* -> $experiment" >&2
+    gprofng collect app -o "$experiment" "$@"
+    echo "== flat profile (exclusive CPU time)"
+    gprofng display text -functions "$experiment"
+    echo "== callers/callees of the top frame"
     gprofng display text -callers-callees "$experiment" | head -60
+    echo "experiment kept at $experiment (rerun views with:" \
+         "gprofng display text -functions $experiment)" >&2
+}
+
+run_gprof() {
+    # gmon.out lands in the process's working directory, so run from
+    # the profile dir — which means the binary path must be absolute.
+    binary=$(realpath "$1"); shift
+    workdir="${HYMM_PROFILE_DIR:-/tmp/hymm_hotloop.$$.gprof}"
+    mkdir -p "$workdir"
+    echo "== collecting (gprof): $binary $* -> $workdir/gmon.out" >&2
+    ( cd "$workdir" >/dev/null || exit 2
+      "$binary" "$@" )
+    # gprof needs an instrumented binary: an un-instrumented run
+    # leaves no gmon.out, which is a configuration error, not a
+    # profile of zero samples.
+    if [ ! -s "$workdir/gmon.out" ]; then
+        echo "profile_hotloop.sh: $binary produced no gmon.out —" \
+             "rebuild with -pg for gprof" \
+             "(cmake -DCMAKE_CXX_FLAGS=-pg -DCMAKE_EXE_LINKER_FLAGS=-pg)" >&2
+        exit 2
+    fi
+    echo "== flat profile (exclusive CPU time)"
+    gprof -b "$binary" "$workdir/gmon.out" | head -80
+    echo "profile kept at $workdir/gmon.out (rerun views with:" \
+         "gprof $binary $workdir/gmon.out)" >&2
+}
+
+backend="${HYMM_PROFILER:-}"
+if [ -z "$backend" ]; then
+    if perf_works; then
+        backend=perf
+    elif command -v gprofng >/dev/null 2>&1; then
+        backend=gprofng
+    elif command -v gprof >/dev/null 2>&1; then
+        backend=gprof
+    else
+        echo "profile_hotloop.sh: no usable profiler found — need one of:" >&2
+        echo "  perf    (linux-tools; also needs perf_event access)" >&2
+        echo "  gprofng (binutils >= 2.39)" >&2
+        echo "  gprof   (binutils; binary must be built with -pg)" >&2
+        exit 2
+    fi
 fi
 
-echo "experiment kept at $experiment (rerun views with:" \
-     "gprofng display text -functions $experiment)" >&2
+case "$backend" in
+    perf)
+        if ! perf_works; then
+            echo "profile_hotloop.sh: HYMM_PROFILER=perf but perf cannot" \
+                 "collect here (missing binary or perf_event access denied)" >&2
+            exit 2
+        fi
+        run_perf "$@" ;;
+    gprofng)
+        if ! command -v gprofng >/dev/null 2>&1; then
+            echo "profile_hotloop.sh: HYMM_PROFILER=gprofng but gprofng" \
+                 "not found (binutils >= 2.39)" >&2
+            exit 2
+        fi
+        run_gprofng "$@" ;;
+    gprof)
+        if ! command -v gprof >/dev/null 2>&1; then
+            echo "profile_hotloop.sh: HYMM_PROFILER=gprof but gprof" \
+                 "not found" >&2
+            exit 2
+        fi
+        run_gprof "$@" ;;
+    *)
+        echo "profile_hotloop.sh: unknown HYMM_PROFILER '$backend'" \
+             "(expected perf, gprofng or gprof)" >&2
+        exit 2 ;;
+esac

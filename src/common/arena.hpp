@@ -1,0 +1,85 @@
+// Bump allocator for per-phase / per-band transient buffers. The
+// sampled-simulation and checkpoint paths allocate many short-lived
+// scratch blocks with identical lifetimes (all dead at the end of the
+// band or the serialization pass); a bump pointer over reusable
+// chunks turns those into pointer increments and makes release a
+// single reset() instead of N frees.
+//
+// Only trivially-destructible element types are supported: reset()
+// never runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace hymm {
+
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  // Allocates a zero-initialized span of n elements aligned for T.
+  template <typename T>
+  std::span<T> allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    if (n == 0) return {};
+    const std::size_t bytes = n * sizeof(T);
+    std::byte* p = allocate_bytes(bytes, alignof(T));
+    T* first = reinterpret_cast<T*>(p);
+    for (std::size_t i = 0; i < n; ++i) new (first + i) T{};
+    return {first, n};
+  }
+
+  // Reclaims everything allocated since construction or the previous
+  // reset; chunks are kept for reuse, so a steady-state phase loop
+  // stops hitting the heap after its first iteration.
+  void reset() {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  // Total bytes currently backing the arena (diagnostics).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::byte* allocate_bytes(std::size_t bytes, std::size_t align) {
+    while (true) {
+      if (chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[chunk_];
+        const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= c.size) {
+          offset_ = aligned + bytes;
+          return c.data.get() + aligned;
+        }
+        ++chunk_;
+        offset_ = 0;
+        continue;
+      }
+      const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    }
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // current chunk index
+  std::size_t offset_ = 0;  // bump offset within the current chunk
+};
+
+}  // namespace hymm

@@ -6,6 +6,13 @@
 // power-of-two index, linear probing and backward-shift deletion, so
 // a probe is one or two contiguous cache lines.
 //
+// Storage is struct-of-arrays: keys, occupancy bytes and values live
+// in three parallel arrays. A probe (find/contains) walks only the
+// key and occupancy arrays — eight keys per cache line regardless of
+// sizeof(Value) — and touches the value array once, on the final hit.
+// With the AoS layout a DMB LineState or LSQ entry payload rode along
+// on every probe step and wasted most of each fetched line.
+//
 // Scope is deliberately narrow:
 //  - keys are std::uint64_t (Addr, LoadStoreQueue::EntryId),
 //  - Value must be default-constructible and move-assignable,
@@ -38,13 +45,13 @@ class FlatMap {
 
   void reserve(std::size_t expected) {
     const std::size_t want = table_size_for(expected);
-    if (want > slots_.size()) rehash(want);
+    if (want > keys_.size()) rehash(want);
   }
 
   Value* find(std::uint64_t key) {
     std::size_t i = home_of(key);
     while (used_[i]) {
-      if (slots_[i].key == key) return &slots_[i].value;
+      if (keys_[i] == key) return &values_[i];
       i = next(i);
     }
     return nullptr;
@@ -65,17 +72,17 @@ class FlatMap {
     maybe_grow();
     std::size_t i = home_of(key);
     while (used_[i]) {
-      if (slots_[i].key == key) {
-        slots_[i].value = std::move(value);
-        return slots_[i].value;
+      if (keys_[i] == key) {
+        values_[i] = std::move(value);
+        return values_[i];
       }
       i = next(i);
     }
     used_[i] = 1;
-    slots_[i].key = key;
-    slots_[i].value = std::move(value);
+    keys_[i] = key;
+    values_[i] = std::move(value);
     ++size_;
-    return slots_[i].value;
+    return values_[i];
   }
 
   // Default-constructs the mapping when absent (counter-map idiom).
@@ -89,7 +96,7 @@ class FlatMap {
   bool erase(std::uint64_t key) {
     std::size_t i = home_of(key);
     while (used_[i]) {
-      if (slots_[i].key == key) {
+      if (keys_[i] == key) {
         erase_slot(i);
         return true;
       }
@@ -108,23 +115,18 @@ class FlatMap {
   // insert into or erase from this map.
   template <typename F>
   void for_each(F&& f) {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (used_[i]) f(slots_[i].key, slots_[i].value);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (used_[i]) f(keys_[i], values_[i]);
     }
   }
   template <typename F>
   void for_each(F&& f) const {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (used_[i]) f(slots_[i].key, slots_[i].value);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (used_[i]) f(keys_[i], values_[i]);
     }
   }
 
  private:
-  struct Slot {
-    std::uint64_t key = 0;
-    Value value{};
-  };
-
   static std::size_t table_size_for(std::size_t expected) {
     // Keep the load factor under ~0.5 at the expected population.
     std::size_t n = 16;
@@ -145,18 +147,20 @@ class FlatMap {
   std::size_t next(std::size_t i) const { return (i + 1) & mask_; }
 
   void maybe_grow() {
-    if ((size_ + 1) * 2 > slots_.size()) rehash(slots_.size() * 2);
+    if ((size_ + 1) * 2 > keys_.size()) rehash(keys_.size() * 2);
   }
 
   void rehash(std::size_t new_size) {
-    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<std::uint8_t> old_used = std::move(used_);
-    slots_.assign(new_size, Slot{});
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(new_size, 0);
     used_.assign(new_size, 0);
+    values_.assign(new_size, Value{});
     mask_ = new_size - 1;
     size_ = 0;
-    for (std::size_t i = 0; i < old_slots.size(); ++i) {
-      if (old_used[i]) emplace(old_slots[i].key, std::move(old_slots[i].value));
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_used[i]) emplace(old_keys[i], std::move(old_values[i]));
     }
   }
 
@@ -169,20 +173,22 @@ class FlatMap {
       // Shift j back into the hole unless its home slot lies
       // cyclically in (i, j] — then the move would park it before
       // its probe chain and lookups would miss it.
-      const std::size_t home = home_of(slots_[j].key);
+      const std::size_t home = home_of(keys_[j]);
       const bool home_in_gap = ((j - home) & mask_) < ((j - i) & mask_);
       if (!home_in_gap) {
-        slots_[i] = std::move(slots_[j]);
+        keys_[i] = keys_[j];
+        values_[i] = std::move(values_[j]);
         i = j;
       }
     }
     used_[i] = 0;
-    slots_[i].value = Value{};
+    values_[i] = Value{};
     --size_;
   }
 
-  std::vector<Slot> slots_;
+  std::vector<std::uint64_t> keys_;
   std::vector<std::uint8_t> used_;
+  std::vector<Value> values_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };

@@ -1,0 +1,147 @@
+// Index-based doubly-linked recency list for the simulator's LRU hot
+// paths (DMB data/partial recency tiers, the OP engine's merge row
+// set). Nodes live in one contiguous vector and links are 32-bit
+// indices, so a touch (erase + reinsert at the hot end) rewrites six
+// ints in place instead of a std::list node delete + allocate, and a
+// handle stays valid for the node's whole lifetime — holders never
+// need re-pointing when neighbours move.
+//
+// Front = coldest (next eviction victim), back = hottest. Handles are
+// indices into the node pool; erased nodes go on a free list and the
+// handle may be reused by a later push_back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hymm {
+
+template <typename T>
+class LruList {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNil = 0xffffffffu;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Appends at the hot end; returns the node's stable handle.
+  Handle push_back(T value) {
+    const Handle h = acquire();
+    Node& n = nodes_[h];
+    n.value = value;
+    n.prev = tail_;
+    n.next = kNil;
+    if (tail_ != kNil) {
+      nodes_[tail_].next = h;
+    } else {
+      head_ = h;
+    }
+    tail_ = h;
+    ++size_;
+    return h;
+  }
+
+  // Unlinks the node; the handle becomes invalid (and reusable).
+  void erase(Handle h) {
+    unlink(h);
+    release(h);
+  }
+
+  // Moves an existing node to the hot end (the LRU "touch").
+  void move_to_back(Handle h) {
+    if (tail_ == h) return;
+    unlink(h);
+    Node& n = nodes_[h];
+    n.prev = tail_;
+    n.next = kNil;
+    nodes_[tail_].next = h;  // list is non-empty: h was just unlinked
+    tail_ = h;
+    ++size_;
+  }
+
+  // Moves an existing node to the cold end (demotion).
+  void move_to_front(Handle h) {
+    if (head_ == h) return;
+    unlink(h);
+    Node& n = nodes_[h];
+    n.next = head_;
+    n.prev = kNil;
+    nodes_[head_].prev = h;
+    head_ = h;
+    ++size_;
+  }
+
+  // Cold-to-hot traversal cursors. next()/value() require a live
+  // handle obtained from front() or next().
+  Handle front() const { return head_; }
+  Handle next(Handle h) const { return nodes_[h].next; }
+  const T& value(Handle h) const { return nodes_[h].value; }
+
+  const T& front_value() const {
+    HYMM_DCHECK(head_ != kNil);
+    return nodes_[head_].value;
+  }
+
+  void clear() {
+    nodes_.clear();
+    head_ = tail_ = free_ = kNil;
+    size_ = 0;
+  }
+
+  // Visits values cold-to-hot as f(value). The callback must not
+  // mutate the list.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Handle h = head_; h != kNil; h = nodes_[h].next) f(nodes_[h].value);
+  }
+
+ private:
+  struct Node {
+    T value{};
+    Handle prev = kNil;
+    Handle next = kNil;
+  };
+
+  Handle acquire() {
+    if (free_ != kNil) {
+      const Handle h = free_;
+      free_ = nodes_[h].next;
+      return h;
+    }
+    nodes_.push_back(Node{});
+    return static_cast<Handle>(nodes_.size() - 1);
+  }
+
+  void release(Handle h) {
+    nodes_[h].next = free_;
+    free_ = h;
+  }
+
+  void unlink(Handle h) {
+    Node& n = nodes_[h];
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      HYMM_DCHECK(head_ == h);
+      head_ = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      HYMM_DCHECK(tail_ == h);
+      tail_ = n.prev;
+    }
+    --size_;
+  }
+
+  std::vector<Node> nodes_;
+  Handle head_ = kNil;
+  Handle tail_ = kNil;
+  Handle free_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hymm

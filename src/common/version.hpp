@@ -8,9 +8,9 @@
 namespace hymm {
 
 // Run reports written by write_json_report (core/report.cpp).
-inline constexpr const char* kRunReportSchema = "hymm-run-report/6";
+inline constexpr const char* kRunReportSchema = "hymm-run-report/7";
 // Perf snapshots written by bench/perf_regression.
-inline constexpr const char* kBenchSchema = "hymm-bench/2";
+inline constexpr const char* kBenchSchema = "hymm-bench/3";
 // Serving reports written by write_serve_json (serve/report.cpp) for
 // bench/serve_bench.
 inline constexpr const char* kServeReportSchema = "hymm-serve-report/1";

@@ -1,6 +1,9 @@
 #include "core/accelerator.hpp"
 
+#include <bit>
+#include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
@@ -8,8 +11,72 @@
 #include "core/op_engine.hpp"
 #include "core/rwp_engine.hpp"
 #include "graph/degree_sort.hpp"
+#include "graph/fingerprint.hpp"
 
 namespace hymm {
+
+namespace {
+
+// The combination phase's warm state: the memory system at the
+// phase boundary plus the host-side XW values the phase produced.
+std::vector<std::byte> serialize_warm_state(const CheckpointKey& key,
+                                            const MemorySystem& ms,
+                                            const DenseMatrix& xw) {
+  StateWriter w;
+  ms.save_state(w);
+  w.put_u64(static_cast<std::uint64_t>(xw.rows()));
+  w.put_u64(static_cast<std::uint64_t>(xw.cols()));
+  for (NodeId r = 0; r < xw.rows(); ++r) {
+    for (NodeId c = 0; c < xw.cols(); ++c) w.put_f32(xw.at(r, c));
+  }
+  return seal_checkpoint(key, w.take());
+}
+
+// Restores into a freshly built MemorySystem (same config, regions
+// allocated in the canonical order) and the zeroed XW matrix. False
+// when the blob fails validation — the caller falls back to a cold
+// combination run.
+bool restore_warm_state(const std::vector<std::byte>& blob,
+                        const CheckpointKey& key, MemorySystem& ms,
+                        DenseMatrix& xw) {
+  const std::byte* payload = nullptr;
+  std::size_t payload_size = 0;
+  if (!open_checkpoint(blob, key, &payload, &payload_size)) return false;
+  StateReader r(payload, payload_size);
+  ms.load_state(r);
+  HYMM_CHECK(r.get_u64() == static_cast<std::uint64_t>(xw.rows()));
+  HYMM_CHECK(r.get_u64() == static_cast<std::uint64_t>(xw.cols()));
+  for (NodeId row = 0; row < xw.rows(); ++row) {
+    for (NodeId c = 0; c < xw.cols(); ++c) xw.at(row, c) = r.get_f32();
+  }
+  HYMM_CHECK_MSG(r.exhausted(), "trailing bytes in checkpoint payload");
+  return true;
+}
+
+}  // namespace
+
+CheckpointKey combination_checkpoint_key(const CsrMatrix& x_used,
+                                         const DenseMatrix& w,
+                                         const AcceleratorConfig& config,
+                                         Dataflow flow) {
+  std::uint64_t workload = graph_fingerprint(x_used);
+  std::uint64_t w_digest = fingerprint_combine(
+      static_cast<std::uint64_t>(w.rows()),
+      static_cast<std::uint64_t>(w.cols()));
+  for (NodeId r = 0; r < w.rows(); ++r) {
+    for (NodeId c = 0; c < w.cols(); ++c) {
+      w_digest = fingerprint_combine(
+          w_digest, std::bit_cast<std::uint32_t>(w.at(r, c)));
+    }
+  }
+  workload = fingerprint_combine(workload, w_digest);
+  // Only the engine kind matters for the combination phase: RWP and
+  // hybrid share the RWP combination engine.
+  const bool op_combination = flow == Dataflow::kOuterProduct;
+  workload = fingerprint_combine(workload,
+                                 static_cast<std::uint64_t>(op_combination));
+  return CheckpointKey{workload, tuning_config_hash(config)};
+}
 
 
 Accelerator::Accelerator(const AcceleratorConfig& config) : config_(config) {
@@ -114,37 +181,87 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
 
   // --- Combination phase: XW = X * W ---
   CscMatrix x_csc;  // OP architecture streams X column-wise
-  if (flow == Dataflow::kOuterProduct) {
-    x_csc = CscMatrix::from_csr(*x_used);
-    OpEngineParams op;
-    op.sparse = &x_csc;
-    op.sparse_class = TrafficClass::kFeatures;
-    op.b = &w;
-    op.b_region = w_region;
-    op.b_class = TrafficClass::kWeights;
-    op.c = &xw;
-    op.c_region = xw_region;
-    op.c_final_class = TrafficClass::kCombined;
-    op.spill_region = spill_region;
-    op.accumulate_in_buffer = config_.op_baseline_accumulator;
-    op.window = config_.engine_window;
-    OpEngine engine(ms, op);
-    run_phase(ms, engine);
-  } else {
-    RwpEngineParams rwp;
-    rwp.sparse = x_used;
-    rwp.sparse_class = TrafficClass::kFeatures;
-    rwp.b = &w;
-    rwp.b_region = w_region;
-    rwp.b_class = TrafficClass::kWeights;
-    rwp.c = &xw;
-    rwp.c_region = xw_region;
-    rwp.c_class = TrafficClass::kCombined;
-    rwp.c_store_kind = StoreKind::kAllocate;
-    rwp.window = config_.engine_window;
-    RwpEngine engine(ms, rwp);
-    run_phase(ms, engine);
+  if (flow == Dataflow::kOuterProduct) x_csc = CscMatrix::from_csr(*x_used);
+  // The cold path, reusable against a private MemorySystem so the
+  // checkpoint builder can run it off to the side. The region values
+  // are identical for any MemorySystem that allocated the canonical
+  // W/XW/AXW/spill sequence above (the address map is deterministic).
+  const auto run_combination = [&](MemorySystem& sys, DenseMatrix& out_xw) {
+    if (flow == Dataflow::kOuterProduct) {
+      OpEngineParams op;
+      op.sparse = &x_csc;
+      op.sparse_class = TrafficClass::kFeatures;
+      op.b = &w;
+      op.b_region = w_region;
+      op.b_class = TrafficClass::kWeights;
+      op.c = &out_xw;
+      op.c_region = xw_region;
+      op.c_final_class = TrafficClass::kCombined;
+      op.spill_region = spill_region;
+      op.accumulate_in_buffer = config_.op_baseline_accumulator;
+      op.window = config_.engine_window;
+      OpEngine engine(sys, op);
+      run_phase(sys, engine);
+    } else {
+      RwpEngineParams rwp;
+      rwp.sparse = x_used;
+      rwp.sparse_class = TrafficClass::kFeatures;
+      rwp.b = &w;
+      rwp.b_region = w_region;
+      rwp.b_class = TrafficClass::kWeights;
+      rwp.c = &out_xw;
+      rwp.c_region = xw_region;
+      rwp.c_class = TrafficClass::kCombined;
+      rwp.c_store_kind = StoreKind::kAllocate;
+      rwp.window = config_.engine_window;
+      RwpEngine engine(sys, rwp);
+      run_phase(sys, engine);
+    }
+  };
+  // Observer runs are ineligible: a restored combination would skip
+  // the phase's trace events and counter samples.
+  CheckpointStore* ckpt = obs == nullptr ? request.checkpoints : nullptr;
+  bool restored = false;
+  if (ckpt != nullptr) {
+    const CheckpointKey key =
+        combination_checkpoint_key(*x_used, w, config_, flow);
+    result.checkpoint.enabled = true;
+    result.checkpoint.key = checkpoint_key_hex(key);
+    bool built = false;
+    const auto blob = ckpt->get_or_build(
+        key,
+        [&] {
+          MemorySystem cold(config_);
+          // Replicate the canonical region sequence so embedded
+          // addresses match every restoring run.
+          cold.address_map().allocate("W", w_region.bytes,
+                                      TrafficClass::kWeights);
+          cold.address_map().allocate("XW", xw_region.bytes,
+                                      TrafficClass::kCombined);
+          cold.address_map().allocate("AXW", axw_region.bytes,
+                                      TrafficClass::kOutput);
+          cold.address_map().allocate("partial-spill", spill_region.bytes,
+                                      TrafficClass::kPartial);
+          DenseMatrix cold_xw = DenseMatrix::zeros(n, w.cols());
+          run_combination(cold, cold_xw);
+          std::vector<std::byte> sealed =
+              serialize_warm_state(key, cold, cold_xw);
+#ifndef NDEBUG
+          // Round-trip soundness: restoring the blob and re-serializing
+          // must reproduce it byte for byte.
+          MemorySystem check(config_);
+          DenseMatrix check_xw = DenseMatrix::zeros(n, w.cols());
+          HYMM_DCHECK(restore_warm_state(sealed, key, check, check_xw));
+          HYMM_DCHECK(serialize_warm_state(key, check, check_xw) == sealed);
+#endif
+          return sealed;
+        },
+        &built);
+    result.checkpoint.built = built;
+    restored = blob != nullptr && restore_warm_state(*blob, key, ms, xw);
+    result.checkpoint.restored = restored;
   }
+  if (!restored) run_combination(ms, xw);
   result.combination_stats = ms.stats();
   result.combination_stats.cycles = ms.now();
   HYMM_OBS(obs, phase_span("combination", 0, ms.now()));

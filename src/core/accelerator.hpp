@@ -15,8 +15,19 @@
 #include "graph/degree_sort.hpp"
 #include "graph/partition.hpp"
 #include "linalg/dense.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace hymm {
+
+// How the combination phase of one run interacted with the warm-state
+// checkpoint store (sim/checkpoint.hpp). All-false when no store was
+// passed or the run was ineligible (observer attached).
+struct LayerCheckpointInfo {
+  bool enabled = false;   // a store was passed and the run is eligible
+  bool restored = false;  // combination state restored from the blob
+  bool built = false;     // this run simulated the cold combination
+  std::string key;        // checkpoint_key_hex, empty when disabled
+};
 
 struct LayerRunResult {
   Dataflow flow = Dataflow::kRowWiseProduct;
@@ -35,6 +46,8 @@ struct LayerRunResult {
   RegionPartition partition;
   HybridAggregationInfo hybrid_info;
   double preprocess_ms = 0.0;  // degree-sorting cost (Table II)
+
+  LayerCheckpointInfo checkpoint;
 
   double runtime_ms(double clock_ghz) const {
     return static_cast<double>(stats.cycles) / (clock_ghz * 1e6);
@@ -63,7 +76,25 @@ struct LayerRunRequest {
   Observer* observer = nullptr;
   const DegreeSortResult* sort = nullptr;
   const CsrMatrix* sorted_features = nullptr;
+
+  // Optional warm-state reuse (sim/checkpoint.hpp): runs sharing the
+  // same streamed inputs and timing config simulate the combination
+  // phase once and restore its end state afterwards, bit-identically.
+  // Ignored when an observer is attached — the restored run would
+  // miss the combination phase's trace events and counter samples.
+  CheckpointStore* checkpoints = nullptr;
 };
+
+// Key identifying the combination phase's warm state: the streamed
+// feature matrix (structure + values), the dense weights, the engine
+// kind the dataflow runs combination with, and the timing-model hash.
+// `x_used` must be the matrix actually streamed (the degree-sorted
+// features for hybrid runs). The tiling threshold is excluded via
+// tuning_config_hash, so every tuner candidate shares one checkpoint.
+CheckpointKey combination_checkpoint_key(const CsrMatrix& x_used,
+                                         const DenseMatrix& w,
+                                         const AcceleratorConfig& config,
+                                         Dataflow flow);
 
 class Accelerator {
  public:

@@ -17,6 +17,9 @@
 
 namespace hymm {
 
+class StateReader;
+class StateWriter;
+
 // Event-driven fast-forward (see DESIGN.md section 5f). kOn skips
 // provably dead stall spans in run_phase; kOff keeps the legacy
 // cycle-by-cycle loop; kCheck runs the legacy loop but DCHECKs every
@@ -102,6 +105,17 @@ class MemorySystem {
 
   // Advances to the next cycle.
   void advance() { ++now_; }
+
+  // Warm-state checkpointing (sim/checkpoint.hpp): serializes /
+  // restores the clock, the stats counters and every component's
+  // dynamic state. The address map is NOT serialized — restore
+  // requires a MemorySystem built from the same config whose regions
+  // were allocated in the same order with the same sizes, which the
+  // checkpoint key guarantees for the combination phase. Restoring
+  // must happen before an observer is attached (checkpointed runs are
+  // observer-free by construction; see Accelerator::run_layer).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   AcceleratorConfig config_;

@@ -25,7 +25,8 @@ OpEngine::OpEngine(MemorySystem& ms, const OpEngineParams& params)
     : params_(params) {
   HYMM_CHECK(params_.sparse != nullptr && params_.b != nullptr &&
              params_.c != nullptr);
-  HYMM_CHECK(params_.sparse->cols() == params_.b->rows());
+  HYMM_CHECK(params_.sparse->cols() + params_.col_offset <=
+             params_.b->rows());
   HYMM_CHECK(params_.c->cols() == params_.b->cols());
   HYMM_CHECK(params_.sparse->rows() + params_.row_offset <=
              params_.c->rows());
@@ -199,12 +200,13 @@ void OpEngine::tick_stream(MemorySystem& ms) {
   if (pending_.size() + chunks_ <= params_.window && ms.smq().has_ready() &&
       ms.lsq().free_entries() >= chunks_ + 1) {
     const SmqEntry& entry = ms.smq().front();
-    const Addr base = params_.b_region.line_of(entry.outer, chunks_);
+    const NodeId global_col = entry.outer + params_.col_offset;
+    const Addr base = params_.b_region.line_of(global_col, chunks_);
     bool ok = true;
     staged_.clear();
     for (std::size_t chunk = 0; chunk < chunks_ && ok; ++chunk) {
       Pending p;
-      p.col = entry.outer;
+      p.col = global_col;
       p.row = entry.inner;
       p.value = entry.value;
       p.chunk = chunk;
@@ -248,7 +250,8 @@ void OpEngine::tick_stream(MemorySystem& ms) {
       progressed_ = true;
       continue;
     }
-    const Addr base = params_.b_region.line_of(pf_col_, chunks_);
+    const Addr base =
+        params_.b_region.line_of(pf_col_ + params_.col_offset, chunks_);
     bool issued_any = false;
     for (std::size_t chunk = 0; chunk < chunks_; ++chunk) {
       issued_any |= ms.dmb().prefetch(base + chunk * kLineBytes,
@@ -300,14 +303,13 @@ OpEngine::MergeRowSet::MergeRowSet(std::size_t capacity, NodeId rows)
 OpEngine::MergeRowSet::Result OpEngine::MergeRowSet::touch(NodeId row) {
   Result result;
   if (present_[row]) {
-    lru_.erase(where_[row]);
-    where_[row] = lru_.insert(lru_.end(), row);
+    lru_.move_to_back(where_[row]);
     result.access = Access::kHit;
     return result;
   }
   if (lru_.size() >= capacity_) {
-    const NodeId victim = lru_.front();
-    lru_.pop_front();
+    const NodeId victim = lru_.front_value();
+    lru_.erase(lru_.front());
     present_[victim] = false;
     result.evicted = true;
     result.victim = victim;
@@ -315,7 +317,7 @@ OpEngine::MergeRowSet::Result OpEngine::MergeRowSet::touch(NodeId row) {
   result.access = seen_[row] ? Access::kRefetch : Access::kFreshMiss;
   seen_[row] = true;
   present_[row] = true;
-  where_[row] = lru_.insert(lru_.end(), row);
+  where_[row] = lru_.push_back(row);
   return result;
 }
 

@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/lru_list.hpp"
 #include "core/engine.hpp"
 #include "graph/csr.hpp"
 #include "linalg/dense.hpp"
@@ -60,6 +60,10 @@ struct OpEngineParams {
   bool outputs_pinned = false;
 
   NodeId row_offset = 0;  // rebase local output rows to global rows
+  // Rebase local sparse column ids to global B rows / addresses. Zero
+  // everywhere except sampled column-band runs (core/sampling.hpp),
+  // where the streamed CSC is a column slice of the full operand.
+  NodeId col_offset = 0;
   std::size_t window = 64;
 
   // Spatial attribution (obs/spatial.hpp): when the sparse operand is
@@ -118,8 +122,8 @@ class OpEngine final : public Engine {
 
    private:
     std::size_t capacity_;
-    std::list<NodeId> lru_;  // front = oldest
-    std::vector<std::list<NodeId>::iterator> where_;
+    LruList<NodeId> lru_;  // front = oldest
+    std::vector<LruList<NodeId>::Handle> where_;
     std::vector<bool> present_;
     std::vector<bool> seen_;
   };

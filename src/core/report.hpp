@@ -40,7 +40,7 @@ std::string csv_quote(const std::string& field);
 void write_results_csv(std::span<const ExperimentResult> results,
                        std::ostream& out);
 
-// JSON run report (schema "hymm-run-report/6"; spec in
+// JSON run report (schema "hymm-run-report/7"; spec in
 // docs/schemas.md): one object per result carrying the full SimStats
 // counter set (whole layer plus the combination/aggregation phase
 // deltas and, for hybrid runs, the per-region breakdown), each with

@@ -10,6 +10,7 @@
 
 #include "common/config.hpp"
 #include "core/accelerator.hpp"
+#include "core/sampling.hpp"
 #include "graph/datasets.hpp"
 #include "linalg/gcn.hpp"
 #include "obs/histogram.hpp"
@@ -102,6 +103,21 @@ struct ExperimentResult {
   /// run_experiment itself.
   TuneInfo tune;
 
+  /// Warm-state checkpoint interaction of the combination phase
+  /// (sim/checkpoint.hpp); all-false unless the request passed a
+  /// CheckpointStore. Serialized as the "checkpoint" object of
+  /// hymm-run-report/7.
+  LayerCheckpointInfo checkpoint;
+
+  /// Sampled-mode annotation (core/sampling.hpp): enabled=false on
+  /// exact runs. On sampled runs `cycles` and every counter above are
+  /// ratio-estimator extrapolations with the error bars recorded
+  /// here, `verified` is always false (band runs produce no
+  /// functional output), and the run report labels the result
+  /// `"sampled": true`. Serialized as the "sample" object of
+  /// hymm-run-report/7.
+  SampleInfo sample;
+
   /// Per-run latency/duration histograms (obs/histogram.hpp), taken
   /// from the request's observer after the layer ran. Empty when the
   /// request had no observer.
@@ -117,7 +133,7 @@ struct ExperimentResult {
   /// counters and the per-tile heatmap over the adjacency. Empty
   /// unless the observer was built with ObserverOptions::spatial (the
   /// --spatial / HYMM_SPATIAL knob). Serialized as the "spatial"
-  /// object of hymm-run-report/6; conservation against `stats` is
+  /// object of hymm-run-report/7; conservation against `stats` is
   /// DCHECKed when taken.
   SpatialData spatial;
 
@@ -144,6 +160,18 @@ struct ExperimentRequest {
   Observer* observer = nullptr;            ///< optional; never affects timing
   const DegreeSortResult* sort = nullptr;  ///< optional precomputed sort
   const CsrMatrix* sorted_features = nullptr;  ///< features under `sort`
+  /// Optional warm-state checkpoint store (sim/checkpoint.hpp): cells
+  /// sharing a combination workload simulate it once and restore the
+  /// boundary state bit-identically. Ignored when `observer` is set.
+  CheckpointStore* checkpoints = nullptr;
+  /// Sampled-simulation fraction (0 = exact run). When > 0 the layer
+  /// runs in sampled mode (core/sampling.hpp): cycles/stalls/DRAM
+  /// bytes are seeded-subset extrapolations with error bars, the
+  /// result is never functionally verified, and observer/checkpoints
+  /// are ignored.
+  double sample = 0.0;
+  /// Band-selection seed of sampled runs.
+  std::uint64_t sample_seed = 42;
 };
 
 /// Simulates one GCN layer of the request's workload under its flow

@@ -1,4 +1,4 @@
-#include "tune/fingerprint.hpp"
+#include "graph/fingerprint.hpp"
 
 #include <bit>
 #include <cstdio>

@@ -170,10 +170,11 @@ std::optional<ReportSnapshot> normalize_report(const JsonValue& doc,
                                                std::string* error) {
   const std::string schema = doc.get_string("schema");
   if (schema == "hymm-run-report/4" || schema == "hymm-run-report/5" ||
-      schema == "hymm-run-report/6") {
+      schema == "hymm-run-report/6" || schema == "hymm-run-report/7") {
     return normalize_run_report(doc, error);
   }
-  if (schema == "hymm-bench/1" || schema == "hymm-bench/2") {
+  if (schema == "hymm-bench/1" || schema == "hymm-bench/2" ||
+      schema == "hymm-bench/3") {
     return normalize_bench(doc, error);
   }
   if (error != nullptr) {

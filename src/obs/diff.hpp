@@ -1,6 +1,6 @@
 // Run-diff root-cause analysis (the hymm_diff tool, bench/hymm_diff):
-// loads two run reports — hymm-run-report/4, /5 or /6, or hymm-bench/1
-// or /2 snapshots — pairs their runs by (abbrev, flow) and attributes
+// loads two run reports — hymm-run-report/4..7 or hymm-bench/1..3
+// snapshots — pairs their runs by (abbrev, flow) and attributes
 // each pair's cycle delta to (phase-or-region x stall bucket). The
 // per-phase stall vectors sum exactly to the per-phase cycle counts
 // (the simulator's cycle-accounting invariant), so the attribution

@@ -83,7 +83,7 @@ ImbalanceStats compute_imbalance(std::span<const std::uint64_t> values);
 
 // One run's spatial attribution, handed from the Observer's tracker
 // to ExperimentResult::spatial and serialized as the "spatial" object
-// of hymm-run-report/6 (docs/schemas.md).
+// of hymm-run-report/7 (docs/schemas.md).
 struct SpatialData {
   NodeId nodes = 0;          ///< adjacency dimension the grid covers
   NodeId tile = 0;           ///< tile edge in nodes (rows == cols)

@@ -18,7 +18,8 @@ constexpr std::size_t cls_index(TrafficClass cls) {
 
 ClassCost simulate_one(const RequestClass& cls,
                        const std::vector<DenseMatrix>& weights,
-                       Dataflow flow, const AcceleratorConfig& config) {
+                       Dataflow flow, const AcceleratorConfig& config,
+                       CheckpointStore* checkpoints) {
   const GcnModel model(cls.a_hat, weights);
 
   GcnModel::InferenceRequest request;
@@ -26,6 +27,7 @@ ClassCost simulate_one(const RequestClass& cls,
   request.features = &cls.features;
   request.config = config;
   request.verify = true;
+  request.checkpoints = checkpoints;
   // Hybrid: sort once here and share it across the model's layers via
   // the request passthrough.
   DegreeSortResult sort;
@@ -78,13 +80,14 @@ ClassCost simulate_one(const RequestClass& cls,
 std::vector<ClassCost> simulate_class_costs(
     const std::vector<RequestClass>& classes,
     const std::vector<DenseMatrix>& weights, Dataflow flow,
-    const AcceleratorConfig& config, unsigned threads) {
+    const AcceleratorConfig& config, unsigned threads,
+    CheckpointStore* checkpoints) {
   HYMM_CHECK_MSG(!classes.empty(), "no request classes");
   std::vector<ClassCost> costs(classes.size());
   // Indexed slots: each class writes only costs[i], so the result is
   // bit-identical at any thread count.
   parallel_for(classes.size(), threads, [&](std::size_t i) {
-    costs[i] = simulate_one(classes[i], weights, flow, config);
+    costs[i] = simulate_one(classes[i], weights, flow, config, checkpoints);
   });
   return costs;
 }

@@ -79,8 +79,9 @@ ServeResult run_serve(const std::vector<RequestClass>& classes,
                  "ServeConfig.queue_capacity must be > 0");
 
   ServeResult result;
-  result.class_costs = simulate_class_costs(classes, weights, config.flow,
-                                            config.accel, config.threads);
+  result.class_costs =
+      simulate_class_costs(classes, weights, config.flow, config.accel,
+                           config.threads, config.checkpoints);
   // Per-(class, position) savings depend only on the class and on
   // whether the member is the leader — precompute both variants.
   std::vector<RequestSavings> leader_savings;

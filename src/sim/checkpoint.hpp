@@ -1,0 +1,149 @@
+// Warm-state checkpoint/restore (ROADMAP item 5): serialize the full
+// simulator state at the combination/aggregation phase boundary so
+// runs sharing a workload (sweep cells, serving-class standalone
+// simulations, tuner candidate searches) skip the combination phase
+// entirely and restore the warm DMB/LSQ/DRAM state instead.
+//
+// A checkpoint is a self-describing binary blob:
+//
+//   magic "HYMMCKP1" | key.workload | key.config | payload bytes |
+//   fnv1a64(payload)
+//
+// The payload is the MemorySystem state (clock, stats, DRAM channel,
+// DMB directory + recency order, LSQ entries + forwarding window, SMQ
+// tag counter, PE issue cycle) followed by the host-side XW values.
+// Restoring into a fresh MemorySystem is bit-identical to the cold
+// run continued past the same cycle: every future cycle, stall bucket
+// and DRAM byte matches (DCHECKed at build time via a serialize ->
+// restore -> re-serialize round trip, and locked by
+// tests/test_checkpoint.cpp).
+//
+// Keys reuse the tune-cache fingerprint scheme (graph/fingerprint.hpp):
+// `workload` digests the streamed feature matrix, the weight values
+// and the combination engine kind; `config` is tuning_config_hash,
+// which deliberately excludes the tiling threshold — the threshold
+// only affects aggregation, so every tuner candidate shares one
+// checkpoint. Corrupted or truncated checkpoint files are ignored
+// (cold-run fallback), never fatal; see docs/performance.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hymm {
+
+/// Little-endian binary writer for checkpoint payloads.
+class StateWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f32(float v);
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked reader over a checkpoint payload. Out-of-bounds
+/// reads throw CheckError; callers validate the blob checksum first,
+/// so a throw indicates a version/logic bug, not disk corruption.
+class StateReader {
+ public:
+  StateReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  float get_f32();
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Identifies one combination-phase warm state: `workload` digests the
+/// streamed inputs and engine kind, `config` the timing model.
+struct CheckpointKey {
+  std::uint64_t workload = 0;
+  std::uint64_t config = 0;
+
+  friend bool operator==(const CheckpointKey&, const CheckpointKey&) = default;
+};
+
+/// "0x<workload>_0x<config>" — used in filenames and run reports.
+std::string checkpoint_key_hex(const CheckpointKey& key);
+
+/// Frames a payload into a full checkpoint blob (magic + key +
+/// length + payload + checksum).
+std::vector<std::byte> seal_checkpoint(const CheckpointKey& key,
+                                       std::vector<std::byte> payload);
+
+/// Validates magic, key echo, length and checksum; returns a view
+/// (pointer/size into `blob`) of the payload, or false when the blob
+/// is corrupted or keyed differently.
+bool open_checkpoint(const std::vector<std::byte>& blob,
+                     const CheckpointKey& key, const std::byte** payload,
+                     std::size_t* payload_size);
+
+/// Process-wide cache of sealed checkpoint blobs, keyed by
+/// CheckpointKey, with optional directory persistence. Thread-safe:
+/// concurrent get_or_build calls for one key run the builder exactly
+/// once (the WorkloadCache once_flag pattern); other callers block
+/// until the blob is published, then restore from it.
+class CheckpointStore {
+ public:
+  /// `dir` empty = in-memory only. A non-empty dir is used for
+  /// best-effort persistence: loads validate the blob and fall back
+  /// to a cold build on any corruption; write failures are ignored.
+  explicit CheckpointStore(std::string dir = "");
+
+  /// Returns the sealed blob for `key`. The first caller (per process
+  /// lifetime) loads it from disk or runs `build`; later callers get
+  /// the published blob. `build` must return a sealed blob for `key`.
+  /// `was_built` (optional) reports whether this call ran the builder.
+  std::shared_ptr<const std::vector<std::byte>> get_or_build(
+      const CheckpointKey& key,
+      const std::function<std::vector<std::byte>()>& build,
+      bool* was_built = nullptr);
+
+  /// Counters for tests and reports (process lifetime).
+  std::uint64_t builds() const { return builds_.load(); }
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t disk_loads() const { return disk_loads_.load(); }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const std::vector<std::byte>> blob;
+  };
+
+  std::string file_for(const CheckpointKey& key) const;
+
+  std::string dir_;
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> disk_loads_{0};
+};
+
+}  // namespace hymm

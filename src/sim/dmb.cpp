@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "obs/hooks.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/tags.hpp"
 
 namespace hymm {
@@ -38,10 +39,9 @@ std::uint64_t DenseMatrixBuffer::dram_tag_for(Addr line) const {
 }
 
 void DenseMatrixBuffer::touch(Addr line, LineState& state) {
+  (void)line;
   if (policy_ != EvictionPolicy::kLru) return;
-  auto& list = list_for(state.cls);
-  list.erase(state.lru_it);
-  state.lru_it = list.insert(list.end(), line);
+  list_for(state.cls).move_to_back(state.lru_it);
 }
 
 DenseMatrixBuffer::ReadResult DenseMatrixBuffer::read(Addr line,
@@ -103,8 +103,7 @@ bool DenseMatrixBuffer::install(Addr line, TrafficClass cls, bool dirty,
       // Reclassified line (e.g. an XW line rewritten): move it to the
       // appropriate recency tier.
       list_for(state->cls).erase(state->lru_it);
-      auto& list = list_for(cls);
-      state->lru_it = list.insert(list.end(), line);
+      state->lru_it = list_for(cls).push_back(line);
       state->cls = cls;
     } else {
       touch(line, *state);
@@ -117,16 +116,16 @@ bool DenseMatrixBuffer::install(Addr line, TrafficClass cls, bool dirty,
   LineState state;
   state.cls = cls;
   state.dirty = dirty;
-  auto& list = list_for(cls);
-  state.lru_it = list.insert(list.end(), line);
+  state.lru_it = list_for(cls).push_back(line);
   lines_.emplace(line, state);
   return true;
 }
 
 bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
   for (auto* list : {&data_lru_, &partial_lru_}) {
-    for (auto it = list->begin(); it != list->end(); ++it) {
-      const Addr victim = *it;
+    for (auto h = list->front(); h != LruList<Addr>::kNil;
+         h = list->next(h)) {
+      const Addr victim = list->value(h);
       LineState* state = lines_.find(victim);
       HYMM_DCHECK(state != nullptr);
       if (state->pinned) continue;
@@ -143,7 +142,7 @@ bool DenseMatrixBuffer::evict_one(Cycle now, bool ignore_write_bp) {
           HYMM_OBS(obs_, on_partial_spill(now));
         }
       }
-      list->erase(it);
+      list->erase(h);
       lines_.erase(victim);
       ++stats_.dmb_evictions;
       HYMM_OBS(obs_, on_dmb_eviction(now));
@@ -211,20 +210,20 @@ void DenseMatrixBuffer::demote_class(TrafficClass cls) {
   HYMM_CHECK_MSG(cls != TrafficClass::kPartial,
                  "partial lines cannot be demoted");
   // Stable partition: demoted lines first (oldest), others keep
-  // their relative recency.
-  std::list<Addr> demoted;
-  for (auto it = data_lru_.begin(); it != data_lru_.end();) {
-    LineState* state = lines_.find(*it);
+  // their relative recency. Collect cold-to-hot, then move to the
+  // front in reverse so relative order within the demoted set is
+  // preserved; node handles stay valid throughout.
+  demote_scratch_.clear();
+  for (auto h = data_lru_.front(); h != LruList<Addr>::kNil;
+       h = data_lru_.next(h)) {
+    LineState* state = lines_.find(data_lru_.value(h));
     HYMM_DCHECK(state != nullptr);
-    if (state->cls == cls) {
-      demoted.push_back(*it);
-      state->lru_it = std::prev(demoted.end());
-      it = data_lru_.erase(it);
-    } else {
-      ++it;
-    }
+    if (state->cls == cls) demote_scratch_.push_back(h);
   }
-  data_lru_.splice(data_lru_.begin(), demoted);
+  for (auto it = demote_scratch_.rbegin(); it != demote_scratch_.rend();
+       ++it) {
+    data_lru_.move_to_front(*it);
+  }
 }
 
 bool DenseMatrixBuffer::pin_partial(Addr line, Cycle now) {
@@ -264,14 +263,15 @@ void DenseMatrixBuffer::unpin_and_writeback_outputs(Cycle now) {
 
 bool DenseMatrixBuffer::writeback_one_partial(TrafficClass final_cls,
                                               Cycle now) {
-  for (auto it = partial_lru_.begin(); it != partial_lru_.end(); ++it) {
-    const Addr line = *it;
+  for (auto h = partial_lru_.front(); h != LruList<Addr>::kNil;
+       h = partial_lru_.next(h)) {
+    const Addr line = partial_lru_.value(h);
     LineState* state = lines_.find(line);
     HYMM_DCHECK(state != nullptr);
     if (state->pinned) continue;
     dram_.issue_write(line, final_cls, now);
     stats_.note_partial_bytes(-static_cast<std::int64_t>(kLineBytes));
-    partial_lru_.erase(it);
+    partial_lru_.erase(h);
     lines_.erase(line);
     return true;
   }
@@ -340,6 +340,117 @@ void DenseMatrixBuffer::tick(Cycle now) {
       ready_waiters_.push_back(waiter);
     }
     mshrs_.erase(line);
+  }
+}
+
+void DenseMatrixBuffer::save_state(StateWriter& w) const {
+  w.put_u64(membership_epoch_);
+  // Each resident line lives in exactly one recency tier; serializing
+  // both tiers cold-to-hot captures the directory and the exact
+  // eviction order in one pass.
+  for (const LruList<Addr>* list : {&data_lru_, &partial_lru_}) {
+    w.put_u64(list->size());
+    list->for_each([&](Addr line) {
+      const LineState* state = lines_.find(line);
+      HYMM_DCHECK(state != nullptr);
+      w.put_u64(line);
+      w.put_u8(static_cast<std::uint8_t>(state->cls));
+      w.put_bool(state->dirty);
+      w.put_bool(state->pinned);
+    });
+  }
+  // FlatMap iteration order is unspecified; sort by line address so
+  // identical logical states produce identical bytes.
+  std::vector<Addr> mshr_lines;
+  mshr_lines.reserve(mshrs_.size());
+  mshrs_.for_each([&](Addr line, const Mshr&) { mshr_lines.push_back(line); });
+  std::sort(mshr_lines.begin(), mshr_lines.end());
+  w.put_u64(mshr_lines.size());
+  for (const Addr line : mshr_lines) {
+    const Mshr& mshr = *mshrs_.find(line);
+    w.put_u64(line);
+    w.put_u8(static_cast<std::uint8_t>(mshr.cls));
+    w.put_u64(mshr.alloc_cycle);
+    w.put_u64(mshr.waiters.size());
+    for (const std::uint64_t waiter : mshr.waiters) w.put_u64(waiter);
+  }
+  w.put_u64(pending_hits_.size());
+  for (const PendingHit& hit : pending_hits_) {
+    w.put_u64(hit.tag);
+    w.put_u64(hit.ready_cycle);
+  }
+  // prefetch_inflight_ mirrors pending_prefetches_ (one map entry per
+  // queued install); it is rebuilt from the queue on restore.
+  w.put_u64(pending_prefetches_.size());
+  for (const PendingPrefetch& pf : pending_prefetches_) {
+    w.put_u64(pf.line);
+    w.put_u8(static_cast<std::uint8_t>(pf.cls));
+    w.put_u64(pf.ready_cycle);
+  }
+  w.put_u64(ready_waiters_.size());
+  for (const std::uint64_t tag : ready_waiters_) w.put_u64(tag);
+}
+
+void DenseMatrixBuffer::load_state(StateReader& r) {
+  lines_.clear();
+  data_lru_.clear();
+  partial_lru_.clear();
+  mshrs_.clear();
+  pending_hits_.clear();
+  pending_prefetches_.clear();
+  prefetch_inflight_.clear();
+  ready_waiters_.clear();
+  pinned_count_ = 0;
+  tick_active_ = false;
+
+  membership_epoch_ = r.get_u64();
+  for (LruList<Addr>* list : {&data_lru_, &partial_lru_}) {
+    const std::uint64_t count = r.get_u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Addr line = r.get_u64();
+      LineState state;
+      state.cls = static_cast<TrafficClass>(r.get_u8());
+      state.dirty = r.get_bool();
+      state.pinned = r.get_bool();
+      HYMM_DCHECK(&list_for(state.cls) == list);
+      state.lru_it = list->push_back(line);
+      if (state.pinned) ++pinned_count_;
+      lines_.emplace(line, state);
+    }
+  }
+  HYMM_CHECK_MSG(lines_.size() <= capacity_lines_,
+                 "checkpoint holds more lines than this DMB's capacity");
+  const std::uint64_t mshr_count = r.get_u64();
+  for (std::uint64_t i = 0; i < mshr_count; ++i) {
+    const Addr line = r.get_u64();
+    Mshr mshr;
+    mshr.cls = static_cast<TrafficClass>(r.get_u8());
+    mshr.alloc_cycle = r.get_u64();
+    const std::uint64_t waiter_count = r.get_u64();
+    for (std::uint64_t k = 0; k < waiter_count; ++k) {
+      mshr.waiters.push_back(r.get_u64());
+    }
+    mshrs_.emplace(line, std::move(mshr));
+  }
+  const std::uint64_t hit_count = r.get_u64();
+  for (std::uint64_t i = 0; i < hit_count; ++i) {
+    PendingHit hit;
+    hit.tag = r.get_u64();
+    hit.ready_cycle = r.get_u64();
+    pending_hits_.push_back(hit);
+  }
+  const std::uint64_t prefetch_count = r.get_u64();
+  for (std::uint64_t i = 0; i < prefetch_count; ++i) {
+    PendingPrefetch pf;
+    pf.line = r.get_u64();
+    pf.cls = static_cast<TrafficClass>(r.get_u8());
+    pf.ready_cycle = r.get_u64();
+    pending_prefetches_.push_back(pf);
+    prefetch_inflight_.emplace(pf.line, pf.ready_cycle);
+  }
+  const std::uint64_t ready_count = r.get_u64();
+  for (std::uint64_t i = 0; i < ready_count; ++i) {
+    ready_waiters_.push_back(r.get_u64());
   }
 }
 

@@ -11,22 +11,34 @@
 
 #include <cstdint>
 #include <deque>
-#include <list>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/flat_map.hpp"
+#include "common/lru_list.hpp"
+#include "common/small_vec.hpp"
 #include "sim/dram.hpp"
 #include "sim/stats.hpp"
 
 namespace hymm {
 
 class Observer;
+class StateReader;
+class StateWriter;
 
 class DenseMatrixBuffer {
  public:
   DenseMatrixBuffer(const AcceleratorConfig& config, Dram& dram,
                     SimStats& stats);
+
+  // Warm-state checkpointing (sim/checkpoint.hpp): serializes /
+  // restores the full directory — resident lines in exact recency
+  // order per tier, MSHRs with their waiter lists, pending hits,
+  // prefetches and ready waiters. Restore requires a buffer built
+  // from the same config; the rebuilt state is bit-identical for all
+  // future timing (recency order, not node identity, is what evicts).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
   // Attaches the observability context (obs/observer.hpp); hooks are
   // read-only and never change timing. nullptr detaches.
@@ -148,13 +160,13 @@ class DenseMatrixBuffer {
     TrafficClass cls = TrafficClass::kWeights;
     bool dirty = false;
     bool pinned = false;
-    std::list<Addr>::iterator lru_it;  // position in its recency list
+    LruList<Addr>::Handle lru_it = LruList<Addr>::kNil;  // recency node
   };
 
   struct Mshr {
     TrafficClass cls = TrafficClass::kWeights;
     Cycle alloc_cycle = 0;  // for the fill-latency histogram
-    std::vector<std::uint64_t> waiters;
+    SmallVec<std::uint64_t, 2> waiters;
   };
 
   struct PendingHit {
@@ -183,7 +195,7 @@ class DenseMatrixBuffer {
   std::size_t mshr_capacity_;
   EvictionPolicy policy_;
 
-  std::list<Addr>& list_for(TrafficClass cls) {
+  LruList<Addr>& list_for(TrafficClass cls) {
     return cls == TrafficClass::kPartial ? partial_lru_ : data_lru_;
   }
 
@@ -195,9 +207,10 @@ class DenseMatrixBuffer {
   // one LRU so the phase's live working set wins regardless of class;
   // partial-output lines are victimized only when no data line is
   // left ("ensuring that partial outputs are retained", Section
-  // IV-D).
-  std::list<Addr> data_lru_;
-  std::list<Addr> partial_lru_;
+  // IV-D). Index-based lists (common/lru_list.hpp): a touch rewrites
+  // links in place and handles stay valid across neighbour moves.
+  LruList<Addr> data_lru_;
+  LruList<Addr> partial_lru_;
   std::size_t pinned_count_ = 0;
 
   FlatMap<Mshr> mshrs_;
@@ -208,6 +221,8 @@ class DenseMatrixBuffer {
   // Scratch for unpin_and_writeback_outputs (FlatMap forbids erasing
   // during for_each).
   std::vector<Addr> pinned_scratch_;
+  // Scratch for demote_class's stable partition over the data tier.
+  std::vector<LruList<Addr>::Handle> demote_scratch_;
 
   struct PendingPrefetch {
     Addr line = 0;

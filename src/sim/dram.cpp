@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "obs/hooks.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace hymm {
 
@@ -84,6 +85,36 @@ void Dram::tick(Cycle now) {
              observe_dram_read_latency(now - inflight_.front().issue_cycle));
     completions_.push_back(inflight_.front().tag);
     inflight_.pop_front();
+  }
+}
+
+void Dram::save_state(StateWriter& w) const {
+  w.put_u64(next_slot_);
+  w.put_u64(inflight_.size());
+  for (const Inflight& f : inflight_) {
+    w.put_u64(f.tag);
+    w.put_u64(f.ready_cycle);
+    w.put_u64(f.issue_cycle);
+  }
+  w.put_u64(completions_.size());
+  for (const std::uint64_t tag : completions_) w.put_u64(tag);
+}
+
+void Dram::load_state(StateReader& r) {
+  next_slot_ = r.get_u64();
+  inflight_.clear();
+  const std::uint64_t inflight_count = r.get_u64();
+  for (std::uint64_t i = 0; i < inflight_count; ++i) {
+    Inflight f;
+    f.tag = r.get_u64();
+    f.ready_cycle = r.get_u64();
+    f.issue_cycle = r.get_u64();
+    inflight_.push_back(f);
+  }
+  completions_.clear();
+  const std::uint64_t completion_count = r.get_u64();
+  for (std::uint64_t i = 0; i < completion_count; ++i) {
+    completions_.push_back(r.get_u64());
   }
 }
 

@@ -15,10 +15,19 @@
 namespace hymm {
 
 class Observer;
+class StateReader;
+class StateWriter;
 
 class Dram {
  public:
   Dram(const AcceleratorConfig& config, SimStats& stats);
+
+  // Warm-state checkpointing (sim/checkpoint.hpp): serializes /
+  // restores the channel's dynamic state (booked bandwidth, in-flight
+  // reads, undelivered completions). Restore requires a Dram built
+  // from the same config.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
   // Attaches the observability context (read-only hooks; nullptr
   // detaches).

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "obs/hooks.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace hymm {
 
@@ -146,6 +147,90 @@ void LoadStoreQueue::tick(Cycle now) {
       tick_active_ = true;
     }
   }
+}
+
+void LoadStoreQueue::save_state(StateWriter& w) const {
+  w.put_u64(next_id_);
+  // FlatMap iteration order is unspecified; serialize entries sorted
+  // by id so identical logical states produce identical bytes.
+  std::vector<std::pair<EntryId, LoadEntry>> loads;
+  loads.reserve(load_entries_.size());
+  load_entries_.for_each([&loads](std::uint64_t id, const LoadEntry& e) {
+    loads.emplace_back(id, e);
+  });
+  std::sort(loads.begin(), loads.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.put_u64(loads.size());
+  for (const auto& [id, e] : loads) {
+    w.put_u64(id);
+    w.put_u64(e.line);
+    w.put_u8(static_cast<std::uint8_t>(e.cls));
+    w.put_u64(e.issue_cycle);
+    w.put_bool(e.issued);
+    w.put_bool(e.ready);
+  }
+  w.put_u64(unissued_loads_.size());
+  for (const UnissuedLoad& u : unissued_loads_) {
+    w.put_u64(u.id);
+    w.put_u64(u.line);
+    w.put_u8(static_cast<std::uint8_t>(u.cls));
+    w.put_u64(u.absent_epoch);
+  }
+  w.put_u64(store_queue_.size());
+  for (const StoreEntry& s : store_queue_) {
+    w.put_u64(s.line);
+    w.put_u8(static_cast<std::uint8_t>(s.cls));
+    w.put_u8(static_cast<std::uint8_t>(s.kind));
+  }
+  // The forwarding window's line-count map is derived state: it is
+  // rebuilt from the FIFO on restore.
+  w.put_u64(forward_fifo_.size());
+  for (const Addr line : forward_fifo_) w.put_u64(line);
+}
+
+void LoadStoreQueue::load_state(StateReader& r) {
+  next_id_ = r.get_u64();
+  load_entries_.clear();
+  const std::uint64_t load_count = r.get_u64();
+  load_entries_.reserve(load_count);
+  for (std::uint64_t i = 0; i < load_count; ++i) {
+    const EntryId id = r.get_u64();
+    LoadEntry e;
+    e.line = r.get_u64();
+    e.cls = static_cast<TrafficClass>(r.get_u8());
+    e.issue_cycle = r.get_u64();
+    e.issued = r.get_bool();
+    e.ready = r.get_bool();
+    load_entries_.emplace(id, e);
+  }
+  unissued_loads_.clear();
+  const std::uint64_t unissued_count = r.get_u64();
+  for (std::uint64_t i = 0; i < unissued_count; ++i) {
+    UnissuedLoad u;
+    u.id = r.get_u64();
+    u.line = r.get_u64();
+    u.cls = static_cast<TrafficClass>(r.get_u8());
+    u.absent_epoch = r.get_u64();
+    unissued_loads_.push_back(u);
+  }
+  store_queue_.clear();
+  const std::uint64_t store_count = r.get_u64();
+  for (std::uint64_t i = 0; i < store_count; ++i) {
+    StoreEntry s;
+    s.line = r.get_u64();
+    s.cls = static_cast<TrafficClass>(r.get_u8());
+    s.kind = static_cast<StoreKind>(r.get_u8());
+    store_queue_.push_back(s);
+  }
+  forward_fifo_.clear();
+  forward_lines_.clear();
+  const std::uint64_t fifo_count = r.get_u64();
+  for (std::uint64_t i = 0; i < fifo_count; ++i) {
+    const Addr line = r.get_u64();
+    forward_fifo_.push_back(line);
+    ++forward_lines_[line];
+  }
+  tick_active_ = false;
 }
 
 }  // namespace hymm

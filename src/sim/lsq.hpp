@@ -25,6 +25,8 @@ enum class StoreKind {
 };
 
 class Observer;
+class StateReader;
+class StateWriter;
 
 class LoadStoreQueue {
  public:
@@ -32,6 +34,14 @@ class LoadStoreQueue {
 
   LoadStoreQueue(const AcceleratorConfig& config, DenseMatrixBuffer& dmb,
                  SimStats& stats);
+
+  // Warm-state checkpointing (sim/checkpoint.hpp): serializes /
+  // restores entries, retry descriptors, the store queue and the
+  // store-to-load forwarding window (which persists across phases and
+  // feeds aggregation-phase forwards). Restore requires a queue built
+  // from the same config and the already-restored companion DMB.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
   // Attaches the observability context (read-only hooks; nullptr
   // detaches).

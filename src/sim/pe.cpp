@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "obs/hooks.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace hymm {
 
@@ -44,5 +45,11 @@ void PeArray::merge_op(Cycle now) {
 }
 
 void PeArray::stall(Cycle now) { last_issue_cycle_ = now; }
+
+void PeArray::save_state(StateWriter& w) const {
+  w.put_u64(last_issue_cycle_);
+}
+
+void PeArray::load_state(StateReader& r) { last_issue_cycle_ = r.get_u64(); }
 
 }  // namespace hymm

@@ -17,10 +17,17 @@
 namespace hymm {
 
 class Observer;
+class StateReader;
+class StateWriter;
 
 class PeArray {
  public:
   PeArray(const AcceleratorConfig& config, SimStats& stats);
+
+  // Warm-state checkpointing (sim/checkpoint.hpp): the array's only
+  // dynamic state is the last issue cycle.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
   // Attaches the observability context (read-only hooks; nullptr
   // detaches).

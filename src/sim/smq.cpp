@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "obs/hooks.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/tags.hpp"
 
 namespace hymm {
@@ -149,6 +150,20 @@ void SparseMatrixQueue::tick(Cycle now) {
       ++pointer_lines_issued_;
     }
   }
+}
+
+void SparseMatrixQueue::save_state(StateWriter& w) const {
+  // Phase-boundary contract: the stream is fully decoded, consumed
+  // and landed; only the tag counter carries forward.
+  HYMM_CHECK_MSG(finished() && inflight_refills_.empty(),
+                 "SMQ checkpoint requires a drained stream");
+  w.put_u64(next_refill_tag_);
+}
+
+void SparseMatrixQueue::load_state(StateReader& r) {
+  HYMM_CHECK_MSG(finished() && inflight_refills_.empty(),
+                 "SMQ restore requires a drained stream");
+  next_refill_tag_ = r.get_u64();
 }
 
 }  // namespace hymm

@@ -26,11 +26,21 @@ struct SmqEntry {
 };
 
 class Observer;
+class StateReader;
+class StateWriter;
 
 class SparseMatrixQueue {
  public:
   SparseMatrixQueue(const AcceleratorConfig& config, Dram& dram,
                     SimStats& stats);
+
+  // Warm-state checkpointing (sim/checkpoint.hpp). Checkpoints are
+  // taken at phase boundaries where the stream is finished and
+  // drained, so the only state that survives is the monotone refill
+  // tag counter (attach_common deliberately does not reset it: DRAM
+  // read tags must stay unique across phases).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
   // Attaches the observability context (read-only hooks; nullptr
   // detaches).

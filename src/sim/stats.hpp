@@ -127,12 +127,14 @@ struct SimStats {
 // non-additive fields (partial peaks, timeline) keep `after`'s values.
 SimStats stats_delta(const SimStats& after, const SimStats& before);
 
-// Scales every additive counter by `fraction` in [0, 1] (rounded to
+// Scales every additive counter by `fraction` >= 0 (rounded to
 // nearest); non-additive fields (partial peaks, timeline) are copied
-// unchanged. Used for the hybrid's per-region attribution of the
-// shared region-2/3 RWP phase, where exact cycle-level attribution is
-// ill-defined (region-2 and region-3 non-zeros interleave within
-// rows) — see DESIGN.md "Observability".
+// unchanged. Used with fractions in [0, 1] for the hybrid's
+// per-region attribution of the shared region-2/3 RWP phase, where
+// exact cycle-level attribution is ill-defined (region-2 and region-3
+// non-zeros interleave within rows) — see DESIGN.md "Observability" —
+// and with fractions > 1 by sampled mode (core/sampling.hpp) to
+// extrapolate per-band counters to the whole phase.
 SimStats scale_stats(const SimStats& s, double fraction);
 
 }  // namespace hymm

@@ -1,6 +1,8 @@
 #include "sweep/bench_options.hpp"
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -81,6 +83,44 @@ double parse_arrival_rate(const std::string& source,
   return rate;
 }
 
+// "0" = exact mode, otherwise a fraction in (0, 1] of tile bands to
+// simulate per phase. No clamping: 1.5 or -0.2 are errors.
+double parse_sample(const std::string& source, const std::string& value) {
+  const double fraction = parse_double_value(source, value, 0.0, 1.0);
+  // parse_double_value already rejects values outside [0, 1]; the only
+  // in-range value that is not a legal fraction is handled by 0 = off.
+  return fraction;
+}
+
+// Validates a checkpoint directory eagerly: create it if missing and
+// probe writability with a temp file, so a bad --checkpoint-dir fails
+// at startup naming the path instead of silently running cold.
+std::string parse_checkpoint_dir(const std::string& source,
+                                 const std::string& value) {
+  if (value.empty()) {
+    throw UsageError("invalid value '' for " + source +
+                     " (expected a directory path)");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(value, ec);
+  const fs::path probe =
+      fs::path(value) / ".hymm_ckpt_probe";
+  bool writable = false;
+  {
+    std::ofstream out(probe, std::ios::binary | std::ios::trunc);
+    out << 'x';
+    out.close();
+    writable = out.good();
+  }
+  fs::remove(probe, ec);
+  if (!writable) {
+    throw UsageError("invalid value '" + value + "' for " + source +
+                     " (directory is not writable)");
+  }
+  return value;
+}
+
 }  // namespace
 
 double BenchOptions::scale_for(const DatasetSpec& spec) const {
@@ -133,6 +173,12 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
   }
   if (const char* v = env("HYMM_REUSE")) {
     options.serve_reuse = parse_u64_value("HYMM_REUSE", v, 0, 1) != 0;
+  }
+  if (const char* v = env("HYMM_SAMPLE")) {
+    options.sample = parse_sample("HYMM_SAMPLE", v);
+  }
+  if (const char* v = env("HYMM_CHECKPOINT_DIR")) {
+    options.checkpoint_dir = parse_checkpoint_dir("HYMM_CHECKPOINT_DIR", v);
   }
 
   // --- --key=value / --key value flags ---
@@ -195,6 +241,13 @@ BenchOptions BenchOptions::parse(const std::vector<std::string>& args,
           parse_u64_value("--queue-cap", next(), 1, 1u << 20);
     } else if (arg == "--reuse") {
       options.serve_reuse = parse_u64_value("--reuse", next(), 0, 1) != 0;
+    } else if (arg == "--sample") {
+      // Value optional: bare --sample means the default 0.25 fraction
+      // (never consumes the following argument).
+      options.sample = parse_sample(
+          "--sample", inline_value ? *inline_value : "0.25");
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = parse_checkpoint_dir("--checkpoint-dir", next());
     } else if (unrecognized != nullptr) {
       // Pass the flag through untouched (original spelling), plus any
       // following non-flag tokens that may be its values.

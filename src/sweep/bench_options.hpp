@@ -35,6 +35,16 @@
 ///                                          are dropped)
 ///   HYMM_REUSE          --reuse=0|1        serving: inter-layer XW
 ///                                          buffer reuse on/off
+///   HYMM_SAMPLE         --sample[=F]       sampled simulation: simulate
+///                                          a seeded fraction F of tile
+///                                          bands per phase and
+///                                          extrapolate (0 < F <= 1;
+///                                          bare --sample = 0.25;
+///                                          "0" = off)
+///   HYMM_CHECKPOINT_DIR --checkpoint-dir=D warm-state checkpoint
+///                                          directory (sim/checkpoint);
+///                                          created if missing, must be
+///                                          writable
 ///
 /// Flags accept "--flag value" and "--flag=value" and win over the
 /// environment. Unknown dataset tokens and malformed numbers fail
@@ -99,6 +109,17 @@ struct BenchOptions {
   /// Inter-layer XW buffer reuse in the serving model; nullopt = the
   /// binary's default (on).
   std::optional<bool> serve_reuse;
+
+  /// Sampled-simulation fraction (core/sampling.hpp): 0 = exact mode,
+  /// otherwise the fraction of tile bands simulated per phase
+  /// (0 < sample <= 1). Bare --sample selects the default 0.25.
+  /// Out-of-range values throw UsageError — no clamping.
+  double sample = 0.0;
+  /// Warm-state checkpoint directory (sim/checkpoint.hpp); empty =
+  /// checkpointing off. Validated at parse time: the directory is
+  /// created if missing and probed for writability; an unwritable path
+  /// throws UsageError naming it.
+  std::string checkpoint_dir;
 
   /// Effective scale for one dataset: the override, else 1.0 under
   /// --full-datasets, else the dataset's bench default.

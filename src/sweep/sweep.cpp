@@ -139,6 +139,9 @@ SweepRun SweepRunner::run(const SweepSpec& spec) {
       request.flow = cell.flow;
       request.config = cell.config;
       request.observer = group.observer.get();
+      request.checkpoints = options_.checkpoints;
+      request.sample = options_.sample;
+      request.sample_seed = cell.seed;
       if (cell.flow == Dataflow::kHybrid) {
         request.sort = &prepared->sort();
         request.sorted_features = &prepared->sorted_features();

@@ -102,6 +102,17 @@ struct SweepOptions {
   /// Called (under a lock, from worker threads, in completion order)
   /// when a group starts simulating — progress reporting.
   std::function<void(const SweepCell& first_cell)> on_group_start;
+  /// Optional warm-state checkpoint store (sim/checkpoint.hpp),
+  /// shared across every cell and worker: cells whose combination
+  /// workload matches simulate that phase once and restore its end
+  /// state bit-identically. Cells with observers skip checkpointing
+  /// on their own. The store must outlive run().
+  CheckpointStore* checkpoints = nullptr;
+  /// Sampled-simulation fraction applied to every cell (0 = exact
+  /// runs; see core/sampling.hpp). Sampled cells extrapolate with
+  /// error bars, are never functionally verified, and ignore
+  /// observers and checkpoints.
+  double sample = 0.0;
 };
 
 /// Resolves a requested thread count: 0 = HYMM_THREADS env (strictly

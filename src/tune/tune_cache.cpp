@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
-#include "tune/fingerprint.hpp"
+#include "graph/fingerprint.hpp"
 
 namespace hymm {
 

@@ -5,7 +5,7 @@
 
 #include "common/check.hpp"
 #include "sweep/sweep.hpp"
-#include "tune/fingerprint.hpp"
+#include "graph/fingerprint.hpp"
 
 namespace hymm {
 
@@ -93,7 +93,7 @@ AcceleratorConfig Tuner::apply(const AcceleratorConfig& config,
 
 TuneDecision Tuner::tune(std::shared_ptr<const PreparedWorkload> workload,
                          const AcceleratorConfig& config, AutotuneMode mode,
-                         unsigned threads) {
+                         unsigned threads, CheckpointStore* checkpoints) {
   HYMM_CHECK(workload != nullptr);
   TuneDecision decision;
   decision.mode = mode;
@@ -149,6 +149,9 @@ TuneDecision Tuner::tune(std::shared_ptr<const PreparedWorkload> workload,
     }
     SweepOptions options;
     options.threads = threads;
+    // All candidates share one combination checkpoint: they differ
+    // only in tiling_threshold, which tuning_config_hash excludes.
+    options.checkpoints = checkpoints;
     SweepRunner runner(options);
     const SweepRun run = runner.run(spec);
     HYMM_CHECK(run.cells.size() == thresholds.size());

@@ -87,10 +87,15 @@ class Tuner {
   /// `config.tiling_threshold` is read as the fixed baseline;
   /// `threads` only matters for measured misses (0 = HYMM_THREADS /
   /// auto, like SweepOptions). kOff returns the fixed threshold
-  /// without touching the cache.
+  /// without touching the cache. `checkpoints` (optional) is handed
+  /// to the measured search's sweep: every candidate differs only in
+  /// tiling_threshold — which tuning_config_hash deliberately
+  /// excludes — so all candidates restore one shared combination
+  /// checkpoint instead of re-simulating the XW phase per candidate.
   TuneDecision tune(std::shared_ptr<const PreparedWorkload> workload,
                     const AcceleratorConfig& config, AutotuneMode mode,
-                    unsigned threads = 1);
+                    unsigned threads = 1,
+                    CheckpointStore* checkpoints = nullptr);
 
   /// `config` with the decision's threshold applied — what sweep
   /// cells should actually run.

@@ -4,6 +4,8 @@
 // unowned flags must pass through for the caller.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -238,6 +240,67 @@ TEST(BenchOptionsTest, ServeKnobsFailFastOnBadValues) {
   EXPECT_NE(error_of({"--reuse=2"}), "");
   const std::string reuse_err = error_of({}, {{"HYMM_REUSE", "maybe"}});
   EXPECT_NE(reuse_err.find("HYMM_REUSE"), std::string::npos) << reuse_err;
+}
+
+// Sampled-simulation knob: off by default, bare --sample means the
+// default 0.25 fraction (and never consumes the following argument),
+// out-of-range or malformed fractions fail fast naming the value —
+// no clamping, no silent fallback to exact mode.
+TEST(BenchOptionsTest, SampleKnob) {
+  EXPECT_EQ(parse({}).sample, 0.0);
+
+  EXPECT_DOUBLE_EQ(parse({"--sample"}).sample, 0.25);
+  EXPECT_DOUBLE_EQ(parse({"--sample=0.5"}).sample, 0.5);
+  EXPECT_DOUBLE_EQ(parse({"--sample=1"}).sample, 1.0);
+  // 0 = exact mode, legal from the environment and the flag.
+  EXPECT_DOUBLE_EQ(parse({"--sample=0"}).sample, 0.0);
+
+  std::vector<std::string> rest;
+  const BenchOptions opts = parse({"--sample", "--seed=9"}, {}, &rest);
+  EXPECT_DOUBLE_EQ(opts.sample, 0.25);
+  EXPECT_EQ(opts.seed, 9u);
+  EXPECT_TRUE(rest.empty());
+
+  EXPECT_DOUBLE_EQ(parse({}, {{"HYMM_SAMPLE", "0.1"}}).sample, 0.1);
+  // Flags win over the environment.
+  EXPECT_DOUBLE_EQ(parse({"--sample=0.75"}, {{"HYMM_SAMPLE", "0.1"}}).sample,
+                   0.75);
+
+  const std::string high = error_of({"--sample=1.5"});
+  EXPECT_NE(high.find("1.5"), std::string::npos) << high;
+  EXPECT_NE(high.find("--sample"), std::string::npos) << high;
+  EXPECT_NE(error_of({"--sample=-0.2"}), "");
+  const std::string junk = error_of({"--sample=abc"});
+  EXPECT_NE(junk.find("abc"), std::string::npos) << junk;
+  const std::string env_err = error_of({}, {{"HYMM_SAMPLE", "lots"}});
+  EXPECT_NE(env_err.find("HYMM_SAMPLE"), std::string::npos) << env_err;
+  EXPECT_NE(env_err.find("lots"), std::string::npos) << env_err;
+}
+
+// Checkpoint-directory knob: validated eagerly at parse time — the
+// directory is created if missing and probed for writability, so a
+// bad path fails at startup naming it instead of silently running
+// cold.
+TEST(BenchOptionsTest, CheckpointDirKnob) {
+  EXPECT_TRUE(parse({}).checkpoint_dir.empty());
+
+  const std::string dir =
+      ::testing::TempDir() + "hymm_ckpt_opt_test/nested";
+  std::filesystem::remove_all(::testing::TempDir() + "hymm_ckpt_opt_test");
+  const BenchOptions opts = parse({"--checkpoint-dir=" + dir});
+  EXPECT_EQ(opts.checkpoint_dir, dir);
+  // Missing directories are created, not rejected.
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+
+  EXPECT_EQ(parse({}, {{"HYMM_CHECKPOINT_DIR", dir}}).checkpoint_dir, dir);
+
+  EXPECT_NE(error_of({"--checkpoint-dir="}), "");
+  // A path whose parent is a *file* cannot become a directory.
+  const std::string file_path = dir + "/blocker";
+  { std::ofstream(file_path) << 'x'; }
+  const std::string err = error_of({"--checkpoint-dir", file_path + "/sub"});
+  EXPECT_NE(err.find("--checkpoint-dir"), std::string::npos) << err;
+  std::filesystem::remove_all(::testing::TempDir() + "hymm_ckpt_opt_test");
 }
 
 }  // namespace

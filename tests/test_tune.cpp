@@ -13,7 +13,7 @@
 #include "obs/json.hpp"
 #include "sweep/sweep.hpp"
 #include "tune/cost_model.hpp"
-#include "tune/fingerprint.hpp"
+#include "graph/fingerprint.hpp"
 #include "tune/tune_cache.hpp"
 #include "tune/tuner.hpp"
 

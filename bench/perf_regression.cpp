@@ -14,7 +14,11 @@
 // --autotune[=analytic|measured] (HYMM_AUTOTUNE) the hybrid runs
 // under each dataset's tuned tiling threshold instead of the fixed
 // default — the CI autotune leg snapshots analytic-tuned cycles this
-// way and diffs them against a fixed-threshold snapshot.
+// way and diffs them against a fixed-threshold snapshot. With
+// --route=tiles[:analytic|:measured] (HYMM_ROUTE) the hybrid runs
+// under each dataset's per-tile routing map instead; the CI routing
+// leg snapshots tiles:analytic cycles and gates them against the
+// global-tuned snapshot the same way.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -53,9 +57,7 @@ int main(int argc, char** argv) {
   if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
 
   const std::vector<DataflowComparison> comparisons =
-      opts.autotune == AutotuneMode::kOff
-          ? bench::run_datasets(opts)
-          : bench::run_autotuned_datasets(opts);
+      bench::run_datasets_with_policy(opts);
 
   const auto write_stalls = [](JsonWriter& w, const SimStats& s) {
     w.key("stalls");

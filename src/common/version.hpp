@@ -8,7 +8,7 @@
 namespace hymm {
 
 // Run reports written by write_json_report (core/report.cpp).
-inline constexpr const char* kRunReportSchema = "hymm-run-report/7";
+inline constexpr const char* kRunReportSchema = "hymm-run-report/8";
 // Perf snapshots written by bench/perf_regression.
 inline constexpr const char* kBenchSchema = "hymm-bench/3";
 // Serving reports written by write_serve_json (serve/report.cpp) for

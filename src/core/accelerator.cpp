@@ -124,6 +124,19 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
   const CsrMatrix* a_used = &a_hat;
   const CsrMatrix* x_used = &x;
   TiledAdjacency tiled;
+  RoutedAdjacency routed;
+  // Splits the sorted adjacency either by the request's per-tile
+  // routing map or by the global 3-region partition; fills
+  // result.partition with the effective boundaries either way.
+  const auto build_split = [&](const CsrMatrix& sorted) {
+    if (request.route != nullptr) {
+      routed = build_routed_adjacency(sorted, *request.route);
+      result.partition = routed.partition;
+    } else {
+      result.partition = partition_regions(sorted, config_, chunks);
+      tiled = TiledAdjacency::build(sorted, result.partition);
+    }
+  };
   if (hybrid) {
     if (request.sort != nullptr) {
       // Precomputed degree sort (shared immutably by the caller, e.g.
@@ -136,8 +149,7 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
       perm = request.sort->perm;
       a_used = &request.sort->sorted;
       x_used = request.sorted_features;
-      result.partition = partition_regions(*a_used, config_, chunks);
-      tiled = TiledAdjacency::build(*a_used, result.partition);
+      build_split(*a_used);
       result.preprocess_ms = request.sort->sort_cost_ms;
     } else {
       Timer timer;
@@ -148,8 +160,7 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
       sorted_x = permute_feature_rows(x, perm);
       a_used = &sorted_a;
       x_used = &sorted_x;
-      result.partition = partition_regions(*a_used, config_, chunks);
-      tiled = TiledAdjacency::build(*a_used, result.partition);
+      build_split(*a_used);
       result.preprocess_ms = timer.elapsed_ms();
     }
   }
@@ -316,7 +327,11 @@ LayerRunResult Accelerator::run_layer(const LayerRunRequest& request) const {
     }
     case Dataflow::kHybrid: {
       HybridAggregationParams params;
-      params.tiled = &tiled;
+      if (request.route != nullptr) {
+        params.routed = &routed;
+      } else {
+        params.tiled = &tiled;
+      }
       params.b = &xw;
       params.b_region = xw_region;
       params.b_class = TrafficClass::kCombined;

@@ -1,9 +1,10 @@
-// Multi-layer GCN inference on the accelerator model: owns the
-// normalized adjacency and the per-layer weights, runs each layer's
-// combination+aggregation pair on the simulated hardware, applies
-// ReLU / re-sparsification on the host between layers (activation is
-// not part of the paper's accelerator), and verifies against the
-// golden model.
+/// @file
+/// Multi-layer GCN inference on the accelerator model: owns the
+/// normalized adjacency and the per-layer weights, runs each layer's
+/// combination+aggregation pair on the simulated hardware, applies
+/// ReLU / re-sparsification on the host between layers (activation is
+/// not part of the paper's accelerator), and verifies against the
+/// golden model.
 #pragma once
 
 #include <cstdint>
@@ -16,82 +17,90 @@
 
 namespace hymm {
 
+/// A whole GCN (normalized adjacency + per-layer weights) simulated
+/// layer by layer on the accelerator model.
 class GcnModel {
  public:
-  // a_hat must be square; weights[l].rows() must chain (layer 0's
-  // input dimension is the feature length of whatever run() gets).
-  // Layer dimensions above 16 span multiple 64-byte lines per row.
+  /// a_hat must be square; weights[l].rows() must chain (layer 0's
+  /// input dimension is the feature length of whatever run() gets).
+  /// Layer dimensions above 16 span multiple 64-byte lines per row.
   GcnModel(CsrMatrix a_hat, std::vector<DenseMatrix> weights);
 
-  // Convenience: Glorot-style random weights for the dimension chain
-  // in_dim -> dims[0] -> dims[1] -> ...
+  /// Convenience: Glorot-style random weights for the dimension chain
+  /// in_dim -> dims[0] -> dims[1] -> ...
   static GcnModel with_random_weights(CsrMatrix a_hat, NodeId in_dim,
                                       const std::vector<NodeId>& dims,
                                       std::uint64_t seed);
 
+  /// Number of graph nodes (rows of the adjacency).
   NodeId nodes() const { return a_hat_.rows(); }
+  /// Number of layers (one weight matrix each).
   std::size_t layer_count() const { return weights_.size(); }
+  /// The normalized adjacency Â.
   const CsrMatrix& a_hat() const { return a_hat_; }
+  /// Per-layer weight matrices.
   const std::vector<DenseMatrix>& weights() const { return weights_; }
 
+  /// Outcome of one whole-network inference (`run`).
   struct InferenceResult {
-    DenseMatrix output;  // last layer's pre-activation output
+    DenseMatrix output;  ///< last layer's pre-activation output
+    /// Per-layer simulation outcomes, in layer order.
     std::vector<LayerRunResult> layers;
-    Cycle total_cycles = 0;
-    std::uint64_t total_dram_bytes = 0;
-    double total_preprocess_ms = 0.0;
-    bool verified = false;
-    double max_abs_err = 0.0;
+    Cycle total_cycles = 0;               ///< summed over layers
+    std::uint64_t total_dram_bytes = 0;   ///< summed over layers
+    double total_preprocess_ms = 0.0;     ///< host-side preprocessing
+    bool verified = false;                ///< output matched reference()
+    double max_abs_err = 0.0;             ///< worst element error
 
-    // Wall-clock the modeled hardware would take at clock_ghz.
-    // Convention (shared with ExperimentResult::runtime_ms and pinned
-    // by tests): cycles / (clock_ghz * 1e9) seconds, i.e.
-    // cycles / (clock_ghz * 1e6) milliseconds — at 1 GHz, 1e6 cycles
-    // is exactly 1 ms.
+    /// Wall-clock the modeled hardware would take at clock_ghz.
+    /// Convention (shared with ExperimentResult::runtime_ms and pinned
+    /// by tests): cycles / (clock_ghz * 1e9) seconds, i.e.
+    /// cycles / (clock_ghz * 1e6) milliseconds — at 1 GHz, 1e6 cycles
+    /// is exactly 1 ms.
     double runtime_ms(double clock_ghz = 1.0) const {
       return static_cast<double>(total_cycles) / (clock_ghz * 1e6);
     }
   };
 
-  // Everything one inference needs, named instead of positional —
-  // mirrors ExperimentRequest (core/runner.hpp) and LayerRunRequest
-  // (core/accelerator.hpp). `features` is required. `observer`
-  // (optional) collects metrics/trace events for every layer; it
-  // never affects timing. `sort` + `sorted_features` optionally hand
-  // the hybrid its degree-sorting preprocessing precomputed (e.g. the
-  // sweep executor's PreparedWorkload::sort()): when set, the sort is
-  // applied once and shared by every layer instead of re-sorting
-  // a_hat per layer, so total_preprocess_ms drops to the host-side
-  // row-permutation cost. sorted_features must be `features` under
-  // sort->perm; ignored for the homogeneous dataflows. Simulated
-  // cycles are identical either way — sorting is host preprocessing.
+  /// Everything one inference needs, named instead of positional —
+  /// mirrors ExperimentRequest (core/runner.hpp) and LayerRunRequest
+  /// (core/accelerator.hpp). `features` is required. `observer`
+  /// (optional) collects metrics/trace events for every layer; it
+  /// never affects timing. `sort` + `sorted_features` optionally hand
+  /// the hybrid its degree-sorting preprocessing precomputed (e.g. the
+  /// sweep executor's PreparedWorkload::sort()): when set, the sort is
+  /// applied once and shared by every layer instead of re-sorting
+  /// a_hat per layer, so total_preprocess_ms drops to the host-side
+  /// row-permutation cost. sorted_features must be `features` under
+  /// sort->perm; ignored for the homogeneous dataflows. Simulated
+  /// cycles are identical either way — sorting is host preprocessing.
   struct InferenceRequest {
-    Dataflow flow = Dataflow::kRowWiseProduct;  // dataflow to simulate
-    const CsrMatrix* features = nullptr;        // required: input features
-    AcceleratorConfig config;                   // hardware parameters
-    bool verify = true;          // compare output against reference()
-    Observer* observer = nullptr;            // optional; never affects timing
-    const DegreeSortResult* sort = nullptr;  // optional precomputed sort
-    const CsrMatrix* sorted_features = nullptr;  // features under `sort`
-    // Optional warm-state checkpoint store (sim/checkpoint.hpp),
-    // passed to every layer run; ignored when `observer` is set.
+    Dataflow flow = Dataflow::kRowWiseProduct;  ///< dataflow to simulate
+    const CsrMatrix* features = nullptr;        ///< required: input features
+    AcceleratorConfig config;                   ///< hardware parameters
+    bool verify = true;          ///< compare output against reference()
+    Observer* observer = nullptr;            ///< optional; never affects timing
+    const DegreeSortResult* sort = nullptr;  ///< optional precomputed sort
+    const CsrMatrix* sorted_features = nullptr;  ///< features under `sort`
+    /// Optional warm-state checkpoint store (sim/checkpoint.hpp),
+    /// passed to every layer run; ignored when `observer` is set.
     CheckpointStore* checkpoints = nullptr;
   };
 
-  // Simulates the whole network under the request's dataflow. When
-  // request.verify is set, the output is compared against
-  // reference(*request.features).
+  /// Simulates the whole network under the request's dataflow. When
+  /// request.verify is set, the output is compared against
+  /// reference(*request.features).
   InferenceResult run(const InferenceRequest& request) const;
 
-  // Deprecated positional overload (kept for one PR — new callers
-  // fill an InferenceRequest); equivalent to a request with only
-  // flow/features/config/verify set.
+  /// Deprecated positional overload (kept for one PR — new callers
+  /// fill an InferenceRequest); equivalent to a request with only
+  /// flow/features/config/verify set.
   InferenceResult run(Dataflow flow, const CsrMatrix& features,
                       const AcceleratorConfig& config,
                       bool verify = true) const;
 
-  // Host-side golden inference (ReLU between layers, none after the
-  // last).
+  /// Host-side golden inference (ReLU between layers, none after the
+  /// last).
   DenseMatrix reference(const CsrMatrix& features) const;
 
  private:

@@ -7,9 +7,20 @@ namespace hymm {
 
 HybridAggregationInfo run_hybrid_aggregation(
     MemorySystem& ms, const HybridAggregationParams& params) {
-  HYMM_CHECK(params.tiled != nullptr && params.b != nullptr &&
-             params.c != nullptr);
-  const RegionPartition& partition = params.tiled->partition();
+  HYMM_CHECK((params.tiled != nullptr) != (params.routed != nullptr));
+  HYMM_CHECK(params.b != nullptr && params.c != nullptr);
+  const RegionPartition& partition = params.routed != nullptr
+                                         ? params.routed->partition
+                                         : params.tiled->partition();
+  const CscMatrix& op_csc = params.routed != nullptr
+                                ? params.routed->op_csc
+                                : params.tiled->region1_csc();
+  const CsrMatrix& rwp_csr = params.routed != nullptr
+                                 ? params.routed->rwp_csr
+                                 : params.tiled->region23_csr();
+  const NodeId rwp_row_offset = params.routed != nullptr
+                                    ? params.routed->rwp_row_offset
+                                    : partition.region1_rows;
   HYMM_CHECK(params.c->rows() == partition.nodes);
 
   HybridAggregationInfo info;
@@ -23,8 +34,7 @@ HybridAggregationInfo run_hybrid_aggregation(
   const Cycle op_start = ms.now();
   SimStats before_op = ms.stats();
   before_op.cycles = ms.now();
-  if (partition.region1_rows > 0 &&
-      params.tiled->region1_csc().nnz() > 0) {
+  if (partition.region1_rows > 0 && op_csc.nnz() > 0) {
     if (accumulate) {
       for (NodeId r = 0; r < partition.region1_rows; ++r) {
         const Addr base = params.c_region.line_of(r, chunks);
@@ -38,7 +48,7 @@ HybridAggregationInfo run_hybrid_aggregation(
       }
     }
     OpEngineParams op;
-    op.sparse = &params.tiled->region1_csc();
+    op.sparse = &op_csc;
     op.sparse_class = TrafficClass::kAdjacency;
     op.b = params.b;
     op.b_region = params.b_region;
@@ -64,9 +74,9 @@ HybridAggregationInfo run_hybrid_aggregation(
 
   // --- Phase 2: RWP over regions 2 and 3 ---
   const Cycle rwp_start = ms.now();
-  if (params.tiled->region23_csr().nnz() > 0) {
+  if (rwp_csr.nnz() > 0) {
     RwpEngineParams rwp;
-    rwp.sparse = &params.tiled->region23_csr();
+    rwp.sparse = &rwp_csr;
     rwp.sparse_class = TrafficClass::kAdjacency;
     rwp.b = params.b;
     rwp.b_region = params.b_region;
@@ -75,7 +85,7 @@ HybridAggregationInfo run_hybrid_aggregation(
     rwp.c_region = params.c_region;
     rwp.c_class = TrafficClass::kOutput;
     rwp.c_store_kind = StoreKind::kThrough;
-    rwp.row_offset = partition.region1_rows;
+    rwp.row_offset = rwp_row_offset;
     rwp.region2_col_boundary = partition.region2_cols;
     rwp.window = ms.config().engine_window;
     // Spatial attribution follows the exact per-MAC region decision,

@@ -1,23 +1,24 @@
-// Outer-product engine (Fig 1b; represents GCNAX, and runs HyMM's
-// region 1).
-//
-// Streaming stage: for each column j of the sparse matrix the dense
-// row B[j] is loaded once and held input-stationary in the PEs; every
-// non-zero (i, j) retires one MAC and emits a partial-output line for
-// row i. With the near-memory accumulator the partial folds into the
-// DMB in place (missing lines are allocated and may spill); without
-// it, every partial is appended as a 68-byte record to a spill heap.
-//
-// Merge stage (skipped when the outputs are pinned, i.e. HyMM region
-// 1): spilled records stream back and the PE adders fold them into
-// the output rows — a random read-modify-write per record whose
-// working set rotates through the buffer. This is the "merging
-// partial outputs" disruption of Section V-B: the PEs wait on the
-// record stream, on refetches of previously-merged rows and on
-// eviction writebacks.
-//
-// Flush stage: every touched output row is written once as the final
-// result.
+/// @file
+/// Outer-product engine (Fig 1b; represents GCNAX, and runs HyMM's
+/// region 1).
+///
+/// Streaming stage: for each column j of the sparse matrix the dense
+/// row B[j] is loaded once and held input-stationary in the PEs; every
+/// non-zero (i, j) retires one MAC and emits a partial-output line for
+/// row i. With the near-memory accumulator the partial folds into the
+/// DMB in place (missing lines are allocated and may spill); without
+/// it, every partial is appended as a 68-byte record to a spill heap.
+///
+/// Merge stage (skipped when the outputs are pinned, i.e. HyMM region
+/// 1): spilled records stream back and the PE adders fold them into
+/// the output rows — a random read-modify-write per record whose
+/// working set rotates through the buffer. This is the "merging
+/// partial outputs" disruption of Section V-B: the PEs wait on the
+/// record stream, on refetches of previously-merged rows and on
+/// eviction writebacks.
+///
+/// Flush stage: every touched output row is written once as the final
+/// result.
 #pragma once
 
 #include <cstdint>
@@ -33,65 +34,73 @@
 
 namespace hymm {
 
+/// Inputs of one OpEngine run.
 struct OpEngineParams {
-  const CscMatrix* sparse = nullptr;
+  const CscMatrix* sparse = nullptr;  ///< sparse operand, column order
+  /// Traffic class the sparse operand's stream is accounted under.
   TrafficClass sparse_class = TrafficClass::kAdjacency;
 
-  const DenseMatrix* b = nullptr;  // indexed by sparse column id
-  AddressRegion b_region;
+  const DenseMatrix* b = nullptr;  ///< indexed by sparse column id
+  AddressRegion b_region;          ///< address range backing `b`
+  /// Traffic class dense-row fetches are accounted under.
   TrafficClass b_class = TrafficClass::kCombined;
 
-  DenseMatrix* c = nullptr;
-  AddressRegion c_region;
-  // Class of the final (merged) output writes: kOutput for
-  // aggregation, kCombined when OP runs the combination phase.
+  DenseMatrix* c = nullptr;  ///< output matrix
+  AddressRegion c_region;    ///< address range backing `c`
+  /// Class of the final (merged) output writes: kOutput for
+  /// aggregation, kCombined when OP runs the combination phase.
   TrafficClass c_final_class = TrafficClass::kOutput;
 
-  // Spill heap for partial records (append mode and readbacks).
+  /// Spill heap for partial records (append mode and readbacks).
   AddressRegion spill_region;
 
-  // Near-memory accumulator (Section IV-D). Off reproduces the
-  // "w/o accumulator" series of Fig 10.
+  /// Near-memory accumulator (Section IV-D). Off reproduces the
+  /// "w/o accumulator" series of Fig 10.
   bool accumulate_in_buffer = true;
 
-  // HyMM region-1 mode: the caller pre-pinned all output lines, so
-  // partials always merge in place and the caller writes the outputs
-  // back on unpin; merge and flush stages are skipped.
+  /// HyMM region-1 mode: the caller pre-pinned all output lines, so
+  /// partials always merge in place and the caller writes the outputs
+  /// back on unpin; merge and flush stages are skipped.
   bool outputs_pinned = false;
 
-  NodeId row_offset = 0;  // rebase local output rows to global rows
-  // Rebase local sparse column ids to global B rows / addresses. Zero
-  // everywhere except sampled column-band runs (core/sampling.hpp),
-  // where the streamed CSC is a column slice of the full operand.
+  NodeId row_offset = 0;  ///< rebase local output rows to global rows
+  /// Rebase local sparse column ids to global B rows / addresses. Zero
+  /// everywhere except sampled column-band runs (core/sampling.hpp),
+  /// where the streamed CSC is a column slice of the full operand.
   NodeId col_offset = 0;
-  std::size_t window = 64;
+  std::size_t window = 64;  ///< maximum in-flight non-zeros
 
-  // Spatial attribution (obs/spatial.hpp): when the sparse operand is
-  // the adjacency matrix itself, retired MACs focus the observer's
-  // tile grid under `spatial_region`. Off (the default) for the
-  // combination phase, whose coordinates live in feature space.
+  /// Spatial attribution (obs/spatial.hpp): when the sparse operand is
+  /// the adjacency matrix itself, retired MACs focus the observer's
+  /// tile grid under `spatial_region`. Off (the default) for the
+  /// combination phase, whose coordinates live in feature space.
   bool spatial_in_grid = false;
+  /// Region label retired MACs are attributed to on the tile grid.
   SpatialRegion spatial_region = SpatialRegion::kOp;
 };
 
+/// The outer-product dataflow engine.
 class OpEngine final : public Engine {
  public:
+  /// The memory system is needed at construction to attach the SMQ
+  /// stream. Parameter pointers must outlive the engine.
   OpEngine(MemorySystem& ms, const OpEngineParams& params);
 
   bool done(const MemorySystem& ms) const override;
   void tick(MemorySystem& ms) override;
   StallCause cycle_cause() const override { return cause_; }
   bool quiescent() const override { return !progressed_; }
-  // The merge stage's record-stream warm-up is the one engine-owned
-  // timer: nothing happens until merge_ready_cycle_.
+  /// The merge stage's record-stream warm-up is the one engine-owned
+  /// timer: nothing happens until merge_ready_cycle_.
   Cycle next_event(Cycle now) const override {
     return stage_ == Stage::kMerge && now < merge_ready_cycle_
                ? merge_ready_cycle_
                : kNoEvent;
   }
 
-  // Observability for tests and stats reports.
+  /// Spill records folded by the merge stage (tests, stats reports).
   std::uint64_t spill_records_merged() const { return merged_records_; }
+  /// Output rows with at least one non-zero (tests, stats reports).
   NodeId rows_touched() const { return rows_touched_; }
 
  private:

@@ -1,0 +1,151 @@
+#include "core/routing.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/spatial.hpp"
+
+namespace hymm {
+
+const char* tile_flow_key(TileFlow flow) {
+  switch (flow) {
+    case TileFlow::kOp:
+      return "op";
+    case TileFlow::kRwp:
+      return "rwp";
+  }
+  return "rwp";
+}
+
+std::size_t TileRoutingMap::tile_index(NodeId row, NodeId col) const {
+  HYMM_DCHECK(row < nodes && col < nodes);
+  return (row / tile) * grid_cols + (col / tile);
+}
+
+bool TileRoutingMap::routes_to_op(NodeId row, NodeId col) const {
+  return row < op_rows && flows[tile_index(row, col)] == TileFlow::kOp;
+}
+
+void TileRoutingMap::validate() const {
+  HYMM_CHECK(nodes > 0 && tile > 0);
+  HYMM_CHECK(grid_rows == (nodes + tile - 1) / tile);
+  HYMM_CHECK(grid_cols == grid_rows);
+  HYMM_CHECK(flows.size() == grid_rows * grid_cols);
+  HYMM_CHECK(op_rows <= nodes && region2_cols <= nodes);
+  HYMM_CHECK(tile_predicted_cycles.empty() ||
+             tile_predicted_cycles.size() == flows.size());
+  HYMM_CHECK(tile_nnz.empty() || tile_nnz.size() == flows.size());
+}
+
+TileRoutingMap degenerate_routing_map(const RegionPartition& partition,
+                                      NodeId tile_override) {
+  TileRoutingMap map;
+  map.nodes = partition.nodes;
+  map.tile = spatial_tile_edge(partition.nodes, tile_override);
+  map.grid_rows = (partition.nodes + map.tile - 1) / map.tile;
+  map.grid_cols = map.grid_rows;
+  map.op_rows = partition.region1_rows;
+  map.region2_cols = partition.region2_cols;
+  map.degenerate = true;
+  map.flows.resize(map.grid_rows * map.grid_cols, TileFlow::kRwp);
+  // Tile bands whose first row is below the OP boundary are OP; the
+  // op_rows guard in routes_to_op keeps rows past the boundary inside
+  // a straddling band on the RWP side, so the split matches the
+  // global partition exactly.
+  for (std::size_t band = 0; band < map.grid_rows; ++band) {
+    if (static_cast<NodeId>(band) * map.tile < map.op_rows) {
+      for (std::size_t c = 0; c < map.grid_cols; ++c) {
+        map.flows[band * map.grid_cols + c] = TileFlow::kOp;
+      }
+    }
+  }
+  return map;
+}
+
+RoutedAdjacency build_routed_adjacency(const CsrMatrix& sorted_adjacency,
+                                       const TileRoutingMap& map) {
+  map.validate();
+  HYMM_CHECK(sorted_adjacency.rows() == sorted_adjacency.cols());
+  HYMM_CHECK(sorted_adjacency.rows() == map.nodes);
+
+  const NodeId n = map.nodes;
+  const NodeId op_rows = map.op_rows;
+
+  std::vector<EdgeCount> op_ptr;
+  op_ptr.reserve(static_cast<std::size_t>(op_rows) + 1);
+  op_ptr.push_back(0);
+  std::vector<NodeId> op_cols;
+  std::vector<Value> op_vals;
+
+  // RWP-routed entries collected in global row order; whether any of
+  // them fall in the pinned prefix decides the rebasing below.
+  std::vector<EdgeCount> rwp_prefix_nnz(op_rows, 0);
+  std::vector<NodeId> rwp_cols;
+  std::vector<Value> rwp_vals;
+  bool rwp_in_prefix = false;
+
+  for (NodeId r = 0; r < op_rows; ++r) {
+    const auto cols = sorted_adjacency.row_cols(r);
+    const auto vals = sorted_adjacency.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (map.routes_to_op(r, cols[i])) {
+        op_cols.push_back(cols[i]);
+        op_vals.push_back(vals[i]);
+      } else {
+        ++rwp_prefix_nnz[r];
+        rwp_cols.push_back(cols[i]);
+        rwp_vals.push_back(vals[i]);
+        rwp_in_prefix = true;
+      }
+    }
+    op_ptr.push_back(static_cast<EdgeCount>(op_cols.size()));
+  }
+
+  RoutedAdjacency routed;
+  routed.rwp_row_offset = rwp_in_prefix ? 0 : op_rows;
+  const NodeId rwp_rows = n - routed.rwp_row_offset;
+
+  std::vector<EdgeCount> rwp_ptr;
+  rwp_ptr.reserve(static_cast<std::size_t>(rwp_rows) + 1);
+  rwp_ptr.push_back(0);
+  if (rwp_in_prefix) {
+    EdgeCount running = 0;
+    for (NodeId r = 0; r < op_rows; ++r) {
+      running += rwp_prefix_nnz[r];
+      rwp_ptr.push_back(running);
+    }
+  }
+  for (NodeId r = op_rows; r < n; ++r) {
+    const auto cols = sorted_adjacency.row_cols(r);
+    const auto vals = sorted_adjacency.row_values(r);
+    rwp_cols.insert(rwp_cols.end(), cols.begin(), cols.end());
+    rwp_vals.insert(rwp_vals.end(), vals.begin(), vals.end());
+    rwp_ptr.push_back(static_cast<EdgeCount>(rwp_cols.size()));
+  }
+
+  const EdgeCount op_nnz = static_cast<EdgeCount>(op_cols.size());
+  routed.op_csc = CscMatrix::from_csr(CsrMatrix::from_parts(
+      op_rows, n, std::move(op_ptr), std::move(op_cols),
+      std::move(op_vals)));
+
+  routed.partition.nodes = n;
+  routed.partition.region1_rows = op_rows;
+  routed.partition.region2_cols = map.region2_cols;
+  routed.partition.nnz_region1 = op_nnz;
+  for (const NodeId c : rwp_cols) {
+    if (c < map.region2_cols) {
+      ++routed.partition.nnz_region2;
+    } else {
+      ++routed.partition.nnz_region3;
+    }
+  }
+  routed.rwp_csr = CsrMatrix::from_parts(rwp_rows, n, std::move(rwp_ptr),
+                                         std::move(rwp_cols),
+                                         std::move(rwp_vals));
+
+  // Conservation: every adjacency nonzero routed exactly once.
+  HYMM_CHECK(routed.partition.total_nnz() == sorted_adjacency.nnz());
+  return routed;
+}
+
+}  // namespace hymm

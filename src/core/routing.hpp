@@ -1,0 +1,126 @@
+/// @file
+/// Per-tile adaptive dataflow routing (ROADMAP item 2, docs/routing.md):
+/// the generalization of the paper's global 3-region split. The
+/// adjacency is 2D-tiled on the spatial-heatmap grid
+/// (obs/spatial.hpp's `spatial_tile_edge`, so routing maps and
+/// heatmaps share tile coordinates) and every tile is routed to OP or
+/// RWP individually. The paper's partition is the degenerate special
+/// case — a map whose tiles follow the global row boundary
+/// reproduces today's TiledAdjacency bit-identically (locked by
+/// tests/test_routing.cpp).
+///
+/// Layering: this header owns the *mechanism* (map format, routed
+/// adjacency split, degenerate map). The *policy* — scoring tiles
+/// with the roofline cost model and deciding when to deviate from the
+/// global split — lives above core in src/tune/router.hpp, mirroring
+/// the partition auto-tuner split.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+
+namespace hymm {
+
+/// Dataflow a routed tile executes under.
+enum class TileFlow : std::uint8_t {
+  kOp = 0,   ///< outer-product, outputs pinned in the DMB
+  kRwp = 1,  ///< row-wise product, outputs streamed through
+};
+
+/// Stable JSON/report key for a tile flow ("op" / "rwp").
+const char* tile_flow_key(TileFlow flow);
+
+/// A per-tile routing decision over the degree-sorted adjacency,
+/// produced by the TileRouter (src/tune/router.hpp) or by
+/// `degenerate_routing_map`, and consumed by `build_routed_adjacency`
+/// and the hybrid engine. Serialized as the "route" object of
+/// hymm-run-report/8 and rendered by
+/// `scripts/render_heatmap.py --metric=route`.
+///
+/// The grid is square with edge `tile` nodes (the spatial-heatmap
+/// sizing). A nonzero (row, col) is OP-routed iff its tile's flow is
+/// kOp *and* row < op_rows: pinned-output OP requires the output row
+/// to live in the pinned DMB prefix, so kOp flows in tile bands at or
+/// below op_rows have no effect. Everything else is RWP-routed, with
+/// columns below `region2_cols` treated as region-2 (hot, cached XW
+/// rows) and the rest as region-3.
+struct TileRoutingMap {
+  NodeId nodes = 0;          ///< adjacency dimension the grid covers
+  NodeId tile = 0;           ///< tile edge in nodes (rows == cols)
+  std::size_t grid_rows = 0; ///< ceil(nodes / tile)
+  std::size_t grid_cols = 0; ///< ceil(nodes / tile)
+  NodeId op_rows = 0;        ///< pinned-output prefix [0, op_rows)
+  NodeId region2_cols = 0;   ///< RWP hot-column boundary
+  /// Per-tile flow, row-major over the grid (grid_rows * grid_cols).
+  std::vector<TileFlow> flows;
+  /// True when the map reproduces the global 3-region split exactly
+  /// (every tile band intersecting [0, op_rows) is kOp, the rest
+  /// kRwp). Degenerate maps simulate bit-identically to the
+  /// un-routed TiledAdjacency path.
+  bool degenerate = true;
+  /// Cost-model cycle prediction per tile (same row-major order);
+  /// empty for maps that never went through the cost model (e.g.
+  /// `degenerate_routing_map`). Report-only: never affects timing.
+  std::vector<double> tile_predicted_cycles;
+  /// Adjacency nonzeros per tile (same row-major order); empty when
+  /// the map was built without tile statistics. Report-only.
+  std::vector<std::uint64_t> tile_nnz;
+
+  /// Row-major index of the tile containing adjacency entry
+  /// (row, col).
+  std::size_t tile_index(NodeId row, NodeId col) const;
+  /// True when entry (row, col) executes under OP (tile flow is kOp
+  /// and the output row lies in the pinned prefix).
+  bool routes_to_op(NodeId row, NodeId col) const;
+  /// Aborts unless the grid geometry, flow vector and boundaries are
+  /// mutually consistent for an `nodes`-node adjacency.
+  void validate() const;
+
+  bool operator==(const TileRoutingMap&) const = default;
+};
+
+/// The degenerate router: a routing map that reproduces `partition`'s
+/// global 3-region split exactly. Tile bands whose first row lies in
+/// [0, region1_rows) are kOp (rows past the boundary inside such a
+/// band are excluded by the op_rows guard), all other tiles kRwp.
+/// `tile_override` follows the spatial tracker's convention (>= 2
+/// forces that edge, else auto sizing).
+TileRoutingMap degenerate_routing_map(const RegionPartition& partition,
+                                      NodeId tile_override = 0);
+
+/// The adjacency split a routing map induces: OP-routed entries as
+/// CSC (rows [0, op_rows), OP traversal order), RWP-routed entries as
+/// CSR, plus the effective RegionPartition the run reports. For a
+/// degenerate map this equals TiledAdjacency::build's split
+/// bit-for-bit, which is what makes the 3-region paper partition a
+/// provable special case.
+struct RoutedAdjacency {
+  /// Effective partition after routing: region 1 counts the OP-routed
+  /// nonzeros, regions 2/3 split the RWP-routed nonzeros at
+  /// `region2_cols`. Per-region nnz sums to the adjacency nnz
+  /// (checked in build_routed_adjacency).
+  RegionPartition partition;
+  /// OP-routed entries, shape op_rows x nodes, in CSC.
+  CscMatrix op_csc;
+  /// RWP-routed entries in CSR. When no RWP entry falls in the pinned
+  /// prefix the matrix is rebased (local row 0 == global row
+  /// `rwp_row_offset`); otherwise it keeps the full height with
+  /// offset 0 — empty rows produce no SMQ work or stores.
+  CsrMatrix rwp_csr;
+  /// Global row of rwp_csr's local row 0.
+  NodeId rwp_row_offset = 0;
+};
+
+/// Splits the degree-sorted adjacency according to `map`. Every
+/// nonzero lands in exactly one of op_csc / rwp_csr (conservation is
+/// HYMM_CHECKed), and the split is a pure function of (matrix, map) —
+/// deterministic across sweep threads and fast-forward modes.
+RoutedAdjacency build_routed_adjacency(const CsrMatrix& sorted_adjacency,
+                                       const TileRoutingMap& map);
+
+}  // namespace hymm

@@ -170,7 +170,8 @@ std::optional<ReportSnapshot> normalize_report(const JsonValue& doc,
                                                std::string* error) {
   const std::string schema = doc.get_string("schema");
   if (schema == "hymm-run-report/4" || schema == "hymm-run-report/5" ||
-      schema == "hymm-run-report/6" || schema == "hymm-run-report/7") {
+      schema == "hymm-run-report/6" || schema == "hymm-run-report/7" ||
+      schema == "hymm-run-report/8") {
     return normalize_run_report(doc, error);
   }
   if (schema == "hymm-bench/1" || schema == "hymm-bench/2" ||

@@ -1,17 +1,18 @@
-// Log-bucketed HDR-style histogram (tentpole of the telemetry PR):
-// records unsigned samples — memory-request latencies, phase
-// durations — into geometrically growing buckets with a bounded
-// relative error, so p50/p90/p99 queries stay cheap and exact-enough
-// for attribution no matter how many samples a run produces.
-//
-// Bucket scheme (kSubBucketBits = 5, i.e. 32 sub-buckets per octave):
-//   values < 32            one bucket per value (exact)
-//   values in [2^e, 2^e+1) 32 buckets of width 2^(e-5)
-// so every estimate falls within a factor of (1 + 2^-5) = 3.125% of
-// the true value. min/max/count/sum are tracked exactly; quantile()
-// returns the inclusive upper edge of the rank's bucket, capped at
-// the exact max. merge() adds bucket-wise and is exact: a merged
-// histogram equals one that observed both sample streams directly.
+/// @file
+/// Log-bucketed HDR-style histogram:
+/// records unsigned samples — memory-request latencies, phase
+/// durations — into geometrically growing buckets with a bounded
+/// relative error, so p50/p90/p99 queries stay cheap and exact-enough
+/// for attribution no matter how many samples a run produces.
+///
+/// Bucket scheme (kSubBucketBits = 5, i.e. 32 sub-buckets per octave):
+///   values < 32            one bucket per value (exact)
+///   values in [2^e, 2^e+1) 32 buckets of width 2^(e-5)
+/// so every estimate falls within a factor of (1 + 2^-5) = 3.125% of
+/// the true value. min/max/count/sum are tracked exactly; quantile()
+/// returns the inclusive upper edge of the rank's bucket, capped at
+/// the exact max. merge() adds bucket-wise and is exact: a merged
+/// histogram equals one that observed both sample streams directly.
 #pragma once
 
 #include <cstdint>
@@ -21,49 +22,53 @@
 
 namespace hymm {
 
+/// Log-bucketed histogram with bounded relative quantile error.
 class LogHistogram {
  public:
-  // Sub-buckets per octave as a power of two; 5 bounds the relative
-  // quantile error at 2^-5 = 3.125%.
+  /// Sub-buckets per octave as a power of two; 5 bounds the relative
+  /// quantile error at 2^-5 = 3.125%.
   static constexpr unsigned kSubBucketBits = 5;
+  /// Sub-buckets per octave (2^kSubBucketBits).
   static constexpr std::uint64_t kSubBuckets = 1u << kSubBucketBits;
 
-  // Index of the bucket holding `value` (0 is the bucket for 0).
+  /// Index of the bucket holding `value` (0 is the bucket for 0).
   static std::size_t bucket_index(std::uint64_t value);
-  // Inclusive lower / upper edge of bucket `index`.
+  /// Inclusive lower edge of bucket `index`.
   static std::uint64_t bucket_lower(std::size_t index);
+  /// Inclusive upper edge of bucket `index`.
   static std::uint64_t bucket_upper(std::size_t index);
 
+  /// Records `value` `weight` times.
   void observe(std::uint64_t value, std::uint64_t weight = 1);
 
-  // Bucket-wise sum; exact (equivalent to observing both streams).
+  /// Bucket-wise sum; exact (equivalent to observing both streams).
   void merge(const LogHistogram& other);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  bool empty() const { return count_ == 0; }
-  // Exact extremes; 0 when the histogram is empty.
+  std::uint64_t count() const { return count_; }  ///< samples observed
+  std::uint64_t sum() const { return sum_; }  ///< sum of all samples
+  bool empty() const { return count_ == 0; }  ///< no samples yet
+  /// Exact minimum; 0 when the histogram is empty.
   std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  std::uint64_t max() const { return max_; }
-  double mean() const;
+  std::uint64_t max() const { return max_; }  ///< exact maximum
+  double mean() const;  ///< sum / count, 0 when empty
 
-  // Value at quantile q in [0, 1]: the inclusive upper edge of the
-  // bucket holding the ceil(q * count)-th smallest sample, capped at
-  // the exact max — so quantile(v) >= true value and
-  // quantile(v) <= true value * (1 + 2^-kSubBucketBits). Returns 0
-  // when empty; quantile(1) is the exact max.
+  /// Value at quantile q in [0, 1]: the inclusive upper edge of the
+  /// bucket holding the ceil(q * count)-th smallest sample, capped at
+  /// the exact max — so quantile(v) >= true value and
+  /// quantile(v) <= true value * (1 + 2^-kSubBucketBits). Returns 0
+  /// when empty; quantile(1) is the exact max.
   std::uint64_t quantile(double q) const;
 
-  // Occupied buckets in increasing value order (serialization and
-  // test introspection).
+  /// One occupied bucket (serialization and test introspection).
   struct Bucket {
     std::uint64_t lower = 0;  ///< inclusive lower edge
     std::uint64_t upper = 0;  ///< inclusive upper edge
     std::uint64_t count = 0;  ///< samples in [lower, upper]
   };
+  /// Occupied buckets in increasing value order.
   std::vector<Bucket> nonzero_buckets() const;
 
-  void reset();
+  void reset();  ///< clears all samples and extremes
 
  private:
   // Grown on demand to the highest observed bucket index.
@@ -74,23 +79,24 @@ class LogHistogram {
   std::uint64_t max_ = 0;
 };
 
-// The per-run latency/duration histograms an Observer collects (one
-// set per simulated run; reset by Observer::begin_run and handed to
-// the ExperimentResult by run_experiment). All values are cycles.
+/// The per-run latency/duration histograms an Observer collects (one
+/// set per simulated run; reset by Observer::begin_run and handed to
+/// the ExperimentResult by run_experiment). All values are cycles.
 struct RunHistograms {
-  // LSQ load allocation -> data ready, as the engine sees it (DMB hit
-  // latency, miss fills, retry queueing). Store-to-load forwards are
-  // satisfied without a memory request and are not recorded.
+  /// LSQ load allocation -> data ready, as the engine sees it (DMB hit
+  /// latency, miss fills, retry queueing). Store-to-load forwards are
+  /// satisfied without a memory request and are not recorded.
   LogHistogram lsq_load_latency;
-  // DRAM read issue -> completion delivery (queueing + fixed latency).
+  /// DRAM read issue -> completion delivery (queueing + fixed latency).
   LogHistogram dram_read_latency;
-  // DMB MSHR allocation -> fill install (the buffer-side view of a
-  // miss, including bandwidth queueing ahead of the fill).
+  /// DMB MSHR allocation -> fill install (the buffer-side view of a
+  /// miss, including bandwidth queueing ahead of the fill).
   LogHistogram dmb_fill_latency;
-  // Durations of the combination/aggregation phase spans and the
-  // hybrid's region sub-spans.
+  /// Durations of the combination/aggregation phase spans and the
+  /// hybrid's region sub-spans.
   LogHistogram phase_cycles;
 
+  /// True when every member histogram is empty.
   bool empty() const {
     return lsq_load_latency.empty() && dram_read_latency.empty() &&
            dmb_fill_latency.empty() && phase_cycles.empty();

@@ -1,18 +1,22 @@
-// Hook-point macro for the hardware component models. Usage:
-//
-//   HYMM_OBS(obs_, on_dmb_eviction(now));
-//
-// expands to a null-guarded call on the component's Observer*. With
-// no observer attached the cost is one pointer compare; compiling
-// with -DHYMM_OBS_DISABLED removes the hooks entirely (the
-// zero-overhead build). Hooks must only READ simulator state — they
-// are forbidden from feeding back into timing, which keeps cycle
-// counts bit-identical whether or not observability is enabled.
+/// @file
+/// Hook-point macro for the hardware component models. Usage:
+///
+///   HYMM_OBS(obs_, on_dmb_eviction(now));
+///
+/// expands to a null-guarded call on the component's Observer*. With
+/// no observer attached the cost is one pointer compare; compiling
+/// with -DHYMM_OBS_DISABLED removes the hooks entirely (the
+/// zero-overhead build). Hooks must only READ simulator state — they
+/// are forbidden from feeding back into timing, which keeps cycle
+/// counts bit-identical whether or not observability is enabled.
 #pragma once
 
 #include "obs/observer.hpp"
 
 #ifndef HYMM_OBS_DISABLED
+/// Null-guarded observer hook call: invokes `(obs_ptr)->call` when
+/// `obs_ptr` is non-null; compiles to nothing with
+/// -DHYMM_OBS_DISABLED.
 #define HYMM_OBS(obs_ptr, call)            \
   do {                                     \
     if ((obs_ptr) != nullptr) {            \

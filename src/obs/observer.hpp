@@ -1,18 +1,19 @@
-// Observability context: one Observer carries the metrics registry
-// and the trace writer for a set of simulated runs. Hardware
-// component models hold a nullable Observer* and report events
-// through the HYMM_OBS macro (obs/hooks.hpp); with no observer
-// attached the hooks cost one pointer compare, and the observer never
-// feeds back into timing, so simulated cycle counts are bit-identical
-// with observability on or off.
-//
-// Naming scheme (documented in DESIGN.md "Observability"):
-//   counters    <component>.<event>    e.g. dmb.evictions
-//   gauges      <component>.<level>    e.g. lsq.depth
-//   histograms  <component>.<dist>     e.g. smq.row_degree
-//   trace tracks "DMB occupancy", "partial bytes", "LSQ depth",
-//                "SMQ backlog"; phase spans on thread "phases",
-//                region sub-phases on thread "regions".
+/// @file
+/// Observability context: one Observer carries the metrics registry
+/// and the trace writer for a set of simulated runs. Hardware
+/// component models hold a nullable Observer* and report events
+/// through the HYMM_OBS macro (obs/hooks.hpp); with no observer
+/// attached the hooks cost one pointer compare, and the observer never
+/// feeds back into timing, so simulated cycle counts are bit-identical
+/// with observability on or off.
+///
+/// Naming scheme (documented in DESIGN.md "Observability"):
+///   counters    <component>.<event>    e.g. dmb.evictions
+///   gauges      <component>.<level>    e.g. lsq.depth
+///   histograms  <component>.<dist>     e.g. smq.row_degree
+///   trace tracks "DMB occupancy", "partial bytes", "LSQ depth",
+///                "SMQ backlog"; phase spans on thread "phases",
+///                region sub-phases on thread "regions".
 #pragma once
 
 #include <array>
@@ -30,126 +31,135 @@
 
 namespace hymm {
 
+/// What one Observer collects.
 struct ObserverOptions {
-  // Collect trace events (the metrics registry is always on once an
-  // observer is attached).
+  /// Collect trace events (the metrics registry is always on once an
+  /// observer is attached).
   bool trace = false;
-  // Cycles between counter-track samples; bounds trace size on long
-  // runs. Sampling reads state, never mutates it.
+  /// Cycles between counter-track samples; bounds trace size on long
+  /// runs. Sampling reads state, never mutates it.
   Cycle sample_interval = 64;
-  // Windowed time-series telemetry (obs/timeseries.hpp): snapshot the
-  // per-component gauges every timeseries_interval cycles. Off by
-  // default — the series rides --timeseries / HYMM_TIMESERIES.
+  /// Windowed time-series telemetry (obs/timeseries.hpp): snapshot the
+  /// per-component gauges every timeseries_interval cycles. Off by
+  /// default — the series rides --timeseries / HYMM_TIMESERIES.
   bool timeseries = false;
-  Cycle timeseries_interval = 256;
-  // Spatial attribution (obs/spatial.hpp): per-PE-lane busy/MAC
-  // counters and the per-tile heatmap over the adjacency. Off by
-  // default — rides --spatial / HYMM_SPATIAL.
+  Cycle timeseries_interval = 256;  ///< cycles between snapshots
+  /// Spatial attribution (obs/spatial.hpp): per-PE-lane busy/MAC
+  /// counters and the per-tile heatmap over the adjacency. Off by
+  /// default — rides --spatial / HYMM_SPATIAL.
   bool spatial = false;
-  // Explicit tile edge in nodes; 0 picks ~nodes/32 automatically.
+  /// Explicit tile edge in nodes; 0 picks ~nodes/32 automatically.
   NodeId spatial_tile = 0;
 };
 
+/// The observability context one set of runs reports into.
 class Observer {
  public:
+  /// Builds the registry, trace writer and trackers per `options`.
   explicit Observer(ObserverOptions options = {});
 
-  MetricsRegistry& metrics() { return metrics_; }
-  const MetricsRegistry& metrics() const { return metrics_; }
-  TraceWriter& trace() { return trace_; }
-  const TraceWriter& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }  ///< instrument store
+  const MetricsRegistry& metrics() const { return metrics_; }  ///< instrument store
+  TraceWriter& trace() { return trace_; }  ///< trace event buffer
+  const TraceWriter& trace() const { return trace_; }  ///< trace event buffer
 
-  bool tracing() const { return options_.trace; }
+  bool tracing() const { return options_.trace; }  ///< trace collection on
+  /// Cycles between counter-track samples.
   Cycle sample_interval() const { return options_.sample_interval; }
 
-  // Starts a new trace process group (one per simulated run, labelled
-  // e.g. "HyMM" or "RWP/cora") so several runs share one trace file.
+  /// Starts a new trace process group (one per simulated run, labelled
+  /// e.g. "HyMM" or "RWP/cora") so several runs share one trace file.
   void begin_run(const std::string& label);
-  int run_pid() const { return pid_; }
+  int run_pid() const { return pid_; }  ///< current run's trace pid
 
   // --- Component hook points (cached handles; no map lookups) ---
-  void on_dmb_eviction(Cycle now);
-  void on_partial_spill(Cycle now);
-  void on_dmb_prefetch();
-  void on_lsq_forward();
-  void on_lsq_reject();
-  void on_dram_read();
-  void on_dram_write();
-  void on_smq_refill();
-  // PE-array retires carry the engaged lane count so the spatial
-  // tracker can model per-lane busy/MAC occupancy.
+  void on_dmb_eviction(Cycle now);   ///< DMB line evicted
+  void on_partial_spill(Cycle now);  ///< partial-output line spilled
+  void on_dmb_prefetch();            ///< DMB prefetch issued
+  void on_lsq_forward();             ///< store-to-load forward
+  void on_lsq_reject();              ///< LSQ allocation rejected
+  void on_dram_read();               ///< DRAM read request issued
+  void on_dram_write();              ///< DRAM write request issued
+  void on_smq_refill();              ///< SMQ buffer refilled
+  /// PE-array MAC retire; carries the engaged lane count so the
+  /// spatial tracker can model per-lane busy/MAC occupancy.
   void on_pe_mac(std::size_t lanes);
+  /// PE-array merge-add retire with the engaged lane count.
   void on_pe_merge(std::size_t lanes);
-  // DMB read/accumulate outcome, attributed to the focused tile.
+  /// DMB read/accumulate hit, attributed to the focused tile.
   void on_dmb_hit();
+  /// DMB read/accumulate miss, attributed to the focused tile.
   void on_dmb_miss();
-  void observe_row_degree(std::uint64_t nnz);
+  void observe_row_degree(std::uint64_t nnz);  ///< smq.row_degree sample
+  /// Merge-stage records outstanding (op.merge_queue_depth sample).
   void observe_merge_depth(std::uint64_t records_outstanding);
+  /// Engine in-flight window occupancy sample.
   void observe_engine_window(std::uint64_t pending);
 
   // --- Per-run latency histograms (obs/histogram.hpp) ---
-  // LSQ load allocation -> data ready (forwards are never recorded:
-  // they are satisfied without a memory request).
+  /// LSQ load allocation -> data ready (forwards are never recorded:
+  /// they are satisfied without a memory request).
   void observe_load_latency(Cycle cycles);
-  // DRAM read issue -> completion delivery.
+  /// DRAM read issue -> completion delivery.
   void observe_dram_read_latency(Cycle cycles);
-  // DMB MSHR allocation -> fill install.
+  /// DMB MSHR allocation -> fill install.
   void observe_dmb_fill_latency(Cycle cycles);
 
+  /// The current run's latency histograms.
   const RunHistograms& run_histograms() const { return run_hist_; }
-  // Hands the current run's histograms over and starts fresh ones
-  // (run_experiment moves them into the ExperimentResult).
+  /// Hands the current run's histograms over and starts fresh ones
+  /// (run_experiment moves them into the ExperimentResult).
   RunHistograms take_run_histograms();
 
   // --- Windowed time-series telemetry (obs/timeseries.hpp) ---
-  bool timeseries_enabled() const { return options_.timeseries; }
-  TimeSeries& timeseries() { return timeseries_; }
-  const TimeSeries& timeseries() const { return timeseries_; }
+  bool timeseries_enabled() const { return options_.timeseries; }  ///< on?
+  TimeSeries& timeseries() { return timeseries_; }  ///< live series
+  const TimeSeries& timeseries() const { return timeseries_; }  ///< live series
 
-  // Records one scheduled sample (called by MemorySystem when a tick
-  // reaches TimeSeries::next_due(), and by the fast-forward replay
-  // for every due cycle inside a skipped span) and, when tracing,
-  // emits the windowed utilization counter tracks derived from the
-  // previous sample.
+  /// Records one scheduled sample (called by MemorySystem when a tick
+  /// reaches TimeSeries::next_due(), and by the fast-forward replay
+  /// for every due cycle inside a skipped span) and, when tracing,
+  /// emits the windowed utilization counter tracks derived from the
+  /// previous sample.
   void timeseries_record(const TimeSeriesSample& s);
-  // Off-schedule end-of-phase sample (deduplicated per cycle).
+  /// Off-schedule end-of-phase sample (deduplicated per cycle).
   void timeseries_force(const TimeSeriesSample& s);
-  // Hands the finished series over and resets the schedule.
+  /// Hands the finished series over and resets the schedule.
   TimeSeriesData take_timeseries();
 
   // --- Spatial attribution (obs/spatial.hpp) ---
-  bool spatial_enabled() const { return options_.spatial; }
-  SpatialTracker& spatial() { return spatial_; }
-  const SpatialTracker& spatial() const { return spatial_; }
+  bool spatial_enabled() const { return options_.spatial; }  ///< on?
+  SpatialTracker& spatial() { return spatial_; }  ///< live tracker
+  const SpatialTracker& spatial() const { return spatial_; }  ///< live tracker
 
-  // Sizes the tracker's grid for one layer run (called by
-  // Accelerator::run_layer once the adjacency dimension is known).
+  /// Sizes the tracker's grid for one layer run (called by
+  /// Accelerator::run_layer once the adjacency dimension is known).
   void spatial_begin(NodeId nodes, std::size_t pe_count);
-  // Engine hook: a MAC retired for adjacency nonzero (row, col) in
-  // `region`; moves the tile focus.
+  /// Engine hook: a MAC retired for adjacency nonzero (row, col) in
+  /// `region`; moves the tile focus.
   void spatial_mac(NodeId row, NodeId col, SpatialRegion region,
                    bool first_chunk);
-  // Engine hook: subsequent work is not tile-attributable (merge /
-  // flush / drain); lands in the residual bucket.
+  /// Engine hook: subsequent work is not tile-attributable (merge /
+  /// flush / drain); lands in the residual bucket.
   void spatial_unfocus();
-  // Attributes `n` cycles to the focused tile (run_phase per cycle,
-  // fast_forward_to per skipped span).
+  /// Attributes `n` cycles to the focused tile (run_phase per cycle,
+  /// fast_forward_to per skipped span).
   void spatial_cycles(std::uint64_t n);
-  // Hands the finished spatial data over (run_experiment moves it
-  // into the ExperimentResult).
+  /// Hands the finished spatial data over (run_experiment moves it
+  /// into the ExperimentResult).
   SpatialData take_spatial();
 
-  // Counter-track sample, called by MemorySystem every
-  // sample_interval cycles. `stall_cycles` is the cumulative
-  // per-cause cycle-accounting vector (kStallCauseCount entries).
+  /// Counter-track sample, called by MemorySystem every
+  /// sample_interval cycles. `stall_cycles` is the cumulative
+  /// per-cause cycle-accounting vector (kStallCauseCount entries).
   void sample_tracks(Cycle now, std::uint64_t dmb_lines,
                      std::uint64_t partial_bytes, std::uint64_t lsq_depth,
                      std::uint64_t smq_backlog,
                      std::span<const Cycle> stall_cycles);
 
-  // Duration events: whole phases (combination/aggregation) and the
-  // hybrid's region sub-phases.
+  /// Duration event for a whole phase (combination/aggregation).
   void phase_span(const std::string& name, Cycle begin, Cycle end);
+  /// Duration event for a hybrid region sub-phase.
   void region_span(const std::string& name, Cycle begin, Cycle end);
 
  private:

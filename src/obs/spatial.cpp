@@ -72,6 +72,21 @@ std::uint64_t vector_sum(const std::vector<std::uint64_t>& v) {
 
 }  // namespace
 
+NodeId spatial_tile_edge(NodeId nodes, NodeId tile_override) {
+  NodeId tile = tile_override >= 2 ? tile_override : 0;
+  if (tile == 0) {
+    tile = static_cast<NodeId>(
+        (nodes + SpatialTracker::kAutoGridSide - 1) /
+        SpatialTracker::kAutoGridSide);
+  }
+  // Raise the tile edge until the grid fits kMaxGridSide per side —
+  // bounds memory and report size on huge graphs and tiny overrides.
+  const NodeId min_tile = static_cast<NodeId>(
+      (nodes + SpatialTracker::kMaxGridSide - 1) /
+      SpatialTracker::kMaxGridSide);
+  return std::max<NodeId>({tile, min_tile, 1});
+}
+
 std::uint64_t SpatialData::grid_cycles() const {
   std::uint64_t total = 0;
   for (const SpatialTileCounters& r : regions) {
@@ -146,15 +161,7 @@ void SpatialTracker::begin(NodeId nodes, std::size_t pe_count) {
   data_ = SpatialData{};
   data_.nodes = nodes;
 
-  NodeId tile = tile_override_ >= 2 ? tile_override_ : 0;
-  if (tile == 0) {
-    tile = static_cast<NodeId>((nodes + kAutoGridSide - 1) / kAutoGridSide);
-  }
-  // Raise the tile edge until the grid fits kMaxGridSide per side —
-  // bounds memory and report size on huge graphs and tiny overrides.
-  const NodeId min_tile =
-      static_cast<NodeId>((nodes + kMaxGridSide - 1) / kMaxGridSide);
-  tile = std::max<NodeId>({tile, min_tile, 1});
+  const NodeId tile = spatial_tile_edge(nodes, tile_override_);
   data_.tile = tile;
   data_.grid_rows = (nodes + tile - 1) / tile;
   data_.grid_cols = data_.grid_rows;

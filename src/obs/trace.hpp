@@ -1,17 +1,18 @@
-// Cycle-domain trace emitter (tentpole part 1): buffers simulator
-// events and serializes them as Chrome trace-event JSON, the format
-// Perfetto (https://ui.perfetto.dev) and chrome://tracing open
-// directly. One simulated cycle maps to one microsecond of trace
-// time, so cycle numbers read directly off the Perfetto ruler.
-//
-// Event kinds used:
-//   "X" complete events — phase / region sub-phase durations
-//   "C" counter events  — occupancy tracks (DMB lines, partial bytes,
-//                         LSQ depth, SMQ backlog)
-//   "i" instant events  — point occurrences (partial spills,
-//                         evictions)
-//   "M" metadata events — process/thread naming (one process per
-//                         simulated run, so several runs share a file)
+/// @file
+/// Cycle-domain trace emitter: buffers simulator events and
+/// serializes them as Chrome trace-event JSON, the format Perfetto
+/// (https://ui.perfetto.dev) and chrome://tracing open directly. One
+/// simulated cycle maps to one microsecond of trace time, so cycle
+/// numbers read directly off the Perfetto ruler.
+///
+/// Event kinds used:
+///   "X" complete events — phase / region sub-phase durations
+///   "C" counter events  — occupancy tracks (DMB lines, partial bytes,
+///                         LSQ depth, SMQ backlog)
+///   "i" instant events  — point occurrences (partial spills,
+///                         evictions)
+///   "M" metadata events — process/thread naming (one process per
+///                         simulated run, so several runs share a file)
 #pragma once
 
 #include <cstdint>
@@ -23,32 +24,37 @@
 
 namespace hymm {
 
+/// Buffers trace events during simulation and writes one Chrome
+/// trace-event JSON document at the end.
 class TraceWriter {
  public:
-  // Instant events beyond this many are dropped (a long run can evict
-  // millions of times; the trace stays openable). The drop count is
-  // recorded in the emitted metadata.
+  /// Instant events beyond this many are dropped (a long run can evict
+  /// millions of times; the trace stays openable). The drop count is
+  /// recorded in the emitted metadata.
   static constexpr std::size_t kMaxInstantEvents = 1 << 18;
 
-  // Names a process group; subsequent events carry `pid`.
+  /// Names a process group; subsequent events carry `pid`.
   void set_process_name(int pid, std::string name);
+  /// Names a thread within process group `pid`.
   void set_thread_name(int pid, int tid, std::string name);
 
-  // Duration ("X") event spanning [begin, end] cycles.
+  /// Duration ("X") event spanning [begin, end] cycles.
   void duration(int pid, int tid, std::string name, Cycle begin, Cycle end);
 
-  // Counter ("C") sample: one series point on track `track`.
+  /// Counter ("C") sample: one series point on track `track`.
   void counter(int pid, std::string track, std::string series, Cycle ts,
                std::uint64_t value);
 
-  // Instant ("i") event.
+  /// Instant ("i") event.
   void instant(int pid, std::string name, Cycle ts);
 
+  /// Number of buffered events (metadata excluded).
   std::size_t event_count() const { return events_.size(); }
+  /// Instant events discarded past kMaxInstantEvents.
   std::size_t dropped_instants() const { return dropped_instants_; }
 
-  // Serializes {"traceEvents": [...]} with events stable-sorted by
-  // timestamp (metadata first), so `ts` is monotonically ordered.
+  /// Serializes {"traceEvents": [...]} with events stable-sorted by
+  /// timestamp (metadata first), so `ts` is monotonically ordered.
   void write(std::ostream& out) const;
 
  private:

@@ -21,9 +21,16 @@
 ///                       --seed=N           workload seed (default 42)
 ///   HYMM_AUTOTUNE       --autotune[=MODE]  partition auto-tuner mode:
 ///                                          off|analytic|measured (bare
-///                                          --autotune = measured)
-///   HYMM_TUNE_CACHE     --tune-cache=FILE  hymm-tune-cache/1 file the
-///                                          tuner persists decisions in
+///                                          --autotune = measured);
+///                                          mutually exclusive with a
+///                                          tiles --route mode
+///   HYMM_ROUTE          --route[=MODE]     per-tile dataflow routing:
+///                                          global|tiles|tiles:analytic|
+///                                          tiles:measured (bare --route
+///                                          and "tiles" = tiles:analytic)
+///   HYMM_TUNE_CACHE     --tune-cache=FILE  hymm-tune-cache/2 file the
+///                                          tuner and tile router persist
+///                                          decisions in
 ///   HYMM_ARRIVAL_RATE   --arrival-rate=R   serving: open-loop Poisson
 ///                                          arrival rate in requests per
 ///                                          second of modeled time
@@ -87,9 +94,17 @@ struct BenchOptions {
   unsigned threads = 0;               ///< 0 = HYMM_THREADS/auto
   std::uint64_t seed = 42;
   /// Partition auto-tuner (src/tune/): how hybrid cells pick their
-  /// tiling threshold. kOff keeps the config's fixed value.
+  /// tiling threshold. kOff keeps the config's fixed value. A
+  /// non-kOff mode combined with a tiles route mode is a UsageError:
+  /// the router tunes the global threshold itself, so the combination
+  /// would be ambiguous.
   AutotuneMode autotune = AutotuneMode::kOff;
-  /// Tune-cache file (hymm-tune-cache/1); empty = in-memory only.
+  /// Per-tile dataflow routing (src/tune/router.hpp): how hybrid
+  /// cells split the adjacency. kGlobal keeps the paper's 3-region
+  /// partition; the tiles modes build a TileRoutingMap per workload.
+  RouteMode route = RouteMode::kGlobal;
+  /// Tune-cache file (hymm-tune-cache/2); empty = in-memory only.
+  /// Shared by the threshold tuner and the tile router.
   std::string tune_cache;
 
   // --- Serving knobs (src/serve/; consumed by serve_bench) ---

@@ -138,7 +138,7 @@ TEST(ResultsJson, IsValidAndCarriesFullCounterSet) {
   const std::string doc = out.str();
   ASSERT_TRUE(json_is_valid(doc)) << doc;
 
-  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/7\""),
+  EXPECT_NE(doc.find("\"schema\": \"hymm-run-report/8\""),
             std::string::npos);
   const auto expect_field = [&doc](const std::string& key,
                                    std::uint64_t value) {

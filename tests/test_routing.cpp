@@ -1,0 +1,422 @@
+// Tests for per-tile adaptive dataflow routing (core/routing.hpp +
+// tune/router.hpp): the degenerate map must reproduce the global
+// 3-region split bit-identically on every paper dataset under every
+// dataflow, any valid map must conserve nonzeros and keep the layer
+// functionally correct, routing decisions must be deterministic
+// across thread counts, repeat decisions must come from the tune
+// cache with zero simulations, and the RouteMode / cache plumbing
+// must round-trip.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "core/routing.hpp"
+#include "core/runner.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/partition.hpp"
+#include "obs/spatial.hpp"
+#include "sweep/sweep.hpp"
+#include "tune/cost_model.hpp"
+#include "tune/router.hpp"
+#include "tune/tune_cache.hpp"
+#include "tune/tuner.hpp"
+
+namespace hymm {
+namespace {
+
+// Scaled-down test workloads keep the 7-dataset sweeps fast; the
+// split logic is scale-independent (it only sees the sorted CSR).
+double test_scale(const DatasetSpec& spec) {
+  return std::min(default_scale(spec), 0.25);
+}
+
+std::shared_ptr<const PreparedWorkload> prepared(const DatasetSpec& spec,
+                                                 double scale) {
+  return std::make_shared<PreparedWorkload>(spec, scale, 42);
+}
+
+std::shared_ptr<const PreparedWorkload> cora(double scale = 0.5) {
+  return prepared(*find_dataset("CR"), scale);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+ExperimentRequest base_request(const PreparedWorkload& w, Dataflow flow,
+                               const AcceleratorConfig& config) {
+  ExperimentRequest request;
+  request.workload = &w.workload();
+  request.a_hat = &w.a_hat();
+  request.weights = &w.weights();
+  request.reference = &w.reference();
+  request.flow = flow;
+  request.config = config;
+  request.sort = &w.sort();
+  request.sorted_features = &w.sorted_features();
+  return request;
+}
+
+void expect_bit_identical(const ExperimentResult& a,
+                          const ExperimentResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.mac_ops, b.mac_ops) << label;
+  EXPECT_EQ(a.dram_total_bytes, b.dram_total_bytes) << label;
+  EXPECT_EQ(a.partial_bytes_peak, b.partial_bytes_peak) << label;
+  EXPECT_EQ(a.verified, b.verified) << label;
+  EXPECT_EQ(a.stats.dmb_read_hits, b.stats.dmb_read_hits) << label;
+  EXPECT_EQ(a.stats.dmb_read_misses, b.stats.dmb_read_misses) << label;
+  for (std::size_t i = 0; i < kStallCauseCount; ++i) {
+    EXPECT_EQ(a.stats.stall_cycles[i], b.stats.stall_cycles[i])
+        << label << " stall cause " << i;
+  }
+}
+
+// --- Degenerate map == global split, structurally ----------------
+
+// The paper's 3-region split must be a provable special case: the
+// degenerate map's adjacency split equals TiledAdjacency::build's
+// output bit-for-bit on every paper dataset.
+TEST(RoutingMap, DegenerateSplitMatchesTiledAdjacencyOnAllDatasets) {
+  const AcceleratorConfig config;
+  for (const DatasetSpec& spec : paper_datasets()) {
+    SCOPED_TRACE(spec.abbrev);
+    const auto w = prepared(spec, test_scale(spec));
+    const CsrMatrix& sorted = w->sort().sorted;
+    const std::size_t lines = dense_row_lines(w->weights().cols());
+    const RegionPartition partition =
+        partition_regions(sorted, config, lines);
+    const TiledAdjacency tiled = TiledAdjacency::build(sorted, partition);
+
+    const TileRoutingMap map = degenerate_routing_map(partition);
+    map.validate();
+    EXPECT_TRUE(map.degenerate);
+    EXPECT_EQ(map.op_rows, partition.region1_rows);
+    EXPECT_EQ(map.region2_cols, partition.region2_cols);
+
+    const RoutedAdjacency routed = build_routed_adjacency(sorted, map);
+    EXPECT_EQ(routed.op_csc, tiled.region1_csc());
+    EXPECT_EQ(routed.rwp_csr, tiled.region23_csr());
+    EXPECT_EQ(routed.rwp_row_offset, partition.region1_rows);
+    EXPECT_EQ(routed.partition.region1_rows, partition.region1_rows);
+    EXPECT_EQ(routed.partition.region2_cols, partition.region2_cols);
+    EXPECT_EQ(routed.partition.nnz_region1, partition.nnz_region1);
+    EXPECT_EQ(routed.partition.nnz_region2, partition.nnz_region2);
+    EXPECT_EQ(routed.partition.nnz_region3, partition.nnz_region3);
+  }
+}
+
+// --- Degenerate map == global split, end to end ------------------
+
+// Simulating with the degenerate map must be bit-identical to the
+// un-routed path on every dataset under every dataflow (OP and RWP
+// ignore the map by contract; hybrid takes the routed code path).
+TEST(RoutingMap, DegenerateRunsBitIdenticalOnAllDatasetsAndFlows) {
+  const AcceleratorConfig config;
+  const Dataflow flows[] = {Dataflow::kOuterProduct,
+                            Dataflow::kRowWiseProduct, Dataflow::kHybrid};
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const auto w = prepared(spec, test_scale(spec));
+    const std::size_t lines = dense_row_lines(w->weights().cols());
+    const RegionPartition partition =
+        partition_regions(w->sort().sorted, config, lines);
+    const TileRoutingMap map = degenerate_routing_map(partition);
+    for (const Dataflow flow : flows) {
+      const std::string label = spec.abbrev + "/" + to_string(flow);
+      ExperimentRequest unrouted = base_request(*w, flow, config);
+      ExperimentRequest routed = unrouted;
+      routed.route = &map;
+      expect_bit_identical(run_experiment(unrouted),
+                           run_experiment(routed), label);
+    }
+  }
+}
+
+// --- Conservation and correctness under arbitrary maps -----------
+
+// Every valid map — including non-degenerate ones the cost model
+// would never pick — must conserve nonzeros across the split and
+// keep the hybrid functionally correct: routing moves work between
+// phases, never changes the math.
+TEST(RoutingMap, ArbitraryMapConservesNnzAndStaysCorrect) {
+  const AcceleratorConfig config;
+  const auto w = cora(0.5);
+  const CsrMatrix& sorted = w->sort().sorted;
+  const std::size_t lines = dense_row_lines(w->weights().cols());
+  const RegionPartition partition = partition_regions(sorted, config, lines);
+  ASSERT_GT(partition.region1_rows, 0u);
+
+  TileRoutingMap map = degenerate_routing_map(partition);
+  // Flip every other tile in the pinned band to RWP: a map no cost
+  // model produced, still structurally valid.
+  const std::size_t op_bands = (map.op_rows + map.tile - 1) / map.tile;
+  std::size_t flipped = 0;
+  for (std::size_t r = 0; r < op_bands; ++r) {
+    for (std::size_t c = r % 2; c < map.grid_cols; c += 2) {
+      map.flows[r * map.grid_cols + c] = TileFlow::kRwp;
+      ++flipped;
+    }
+  }
+  ASSERT_GT(flipped, 0u);
+  map.degenerate = false;
+  map.validate();
+
+  const RoutedAdjacency routed = build_routed_adjacency(sorted, map);
+  EXPECT_EQ(routed.partition.total_nnz(), sorted.nnz());
+  EXPECT_LT(routed.partition.nnz_region1, partition.nnz_region1);
+
+  // All OP-routed entries really live in the pinned prefix.
+  EXPECT_LE(routed.op_csc.rows(), map.op_rows);
+
+  ExperimentRequest request =
+      base_request(*w, Dataflow::kHybrid, config);
+  request.route = &map;
+  const ExperimentResult result = run_experiment(request);
+  EXPECT_TRUE(result.verified) << "max_abs_err " << result.max_abs_err;
+  EXPECT_EQ(result.partition.total_nnz(), sorted.nnz());
+}
+
+TEST(RoutingMap, RoutesToOpRespectsBothGuards) {
+  const AcceleratorConfig config;
+  const auto w = cora(0.25);
+  const RegionPartition partition = partition_regions(
+      w->sort().sorted, config, dense_row_lines(w->weights().cols()));
+  const TileRoutingMap map = degenerate_routing_map(partition);
+  if (map.op_rows == 0) GTEST_SKIP() << "empty OP region";
+  EXPECT_TRUE(map.routes_to_op(0, 0));
+  // Rows at or past op_rows are never OP-routed, whatever the tile says.
+  EXPECT_FALSE(map.routes_to_op(map.op_rows, 0));
+  EXPECT_FALSE(map.routes_to_op(map.nodes - 1, map.nodes - 1));
+}
+
+// --- Cost-model tile statistics ----------------------------------
+
+TEST(CostModelRouting, TileStatsConserveNnz) {
+  const AcceleratorConfig config;
+  const auto w = cora(0.5);
+  const CsrMatrix& sorted = w->sort().sorted;
+  const RegionPartition partition = partition_regions(
+      sorted, config, dense_row_lines(w->weights().cols()));
+  const NodeId tile = spatial_tile_edge(partition.nodes, 0);
+  const TileStats stats =
+      collect_tile_stats(sorted, tile, partition.region2_cols);
+  EXPECT_EQ(stats.grid_rows * stats.grid_cols, stats.nnz.size());
+  EXPECT_EQ(stats.nnz.size(), stats.hot_nnz.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < stats.nnz.size(); ++i) {
+    EXPECT_LE(stats.hot_nnz[i], stats.nnz[i]) << "tile " << i;
+    total += stats.nnz[i];
+  }
+  EXPECT_EQ(total, sorted.nnz());
+}
+
+TEST(CostModelRouting, CandidateMapIsValidAndAnnotated) {
+  const AcceleratorConfig config;
+  const auto w = cora(0.5);
+  const CsrMatrix& sorted = w->sort().sorted;
+  const std::size_t dense_cols = w->weights().cols();
+  const RegionPartition partition =
+      partition_regions(sorted, config, dense_row_lines(dense_cols));
+  const TileStats stats = collect_tile_stats(
+      sorted, spatial_tile_edge(partition.nodes, 0), partition.region2_cols);
+  const TileRoutingMap map =
+      route_tiles_by_cost(stats, partition, config, dense_cols);
+  map.validate();
+  EXPECT_EQ(map.op_rows, partition.region1_rows);
+  EXPECT_EQ(map.flows.size(), stats.nnz.size());
+  EXPECT_EQ(map.tile_predicted_cycles.size(), map.flows.size());
+
+  // The routed roofline agrees with the global estimator on the
+  // degenerate map (same clamp, same traffic accounting).
+  const TileRoutingMap degenerate = degenerate_routing_map(partition);
+  const CostEstimate routed_global =
+      estimate_routed_cost(stats, degenerate, config, dense_cols);
+  EXPECT_GT(routed_global.cycles, 0.0);
+  EXPECT_GE(routed_global.cycles, routed_global.compute_cycles);
+}
+
+// --- TileRouter policy -------------------------------------------
+
+TEST(TileRouter, GlobalModeIsAPassThrough) {
+  TileRouter router;
+  const RouteDecision decision =
+      router.route(cora(0.25), AcceleratorConfig{}, RouteMode::kGlobal);
+  EXPECT_TRUE(decision.degenerate);
+  EXPECT_EQ(decision.map, nullptr);
+  EXPECT_EQ(decision.simulations, 0u);
+  EXPECT_EQ(router.measured_simulations(), 0u);
+  EXPECT_FALSE(to_route_info(decision).enabled);
+}
+
+TEST(TileRouter, AnalyticDecisionNeedsNoSimulation) {
+  TileRouter router;
+  const auto w = cora(0.5);
+  const RouteDecision decision =
+      router.route(w, AcceleratorConfig{}, RouteMode::kTilesAnalytic);
+  EXPECT_EQ(decision.simulations, 0u);
+  EXPECT_EQ(router.measured_simulations(), 0u);
+  ASSERT_NE(decision.map, nullptr);
+  decision.map->validate();
+  EXPECT_EQ(decision.map->degenerate, decision.degenerate);
+  EXPECT_GT(decision.global_threshold, 0.0);
+  EXPECT_GT(decision.predicted_global_cycles, 0.0);
+  // The candidate only displaces the global split on a strict win.
+  EXPECT_LE(decision.predicted_tiled_cycles,
+            decision.predicted_global_cycles);
+
+  const RouteInfo info = to_route_info(decision);
+  EXPECT_TRUE(info.enabled);
+  EXPECT_EQ(info.mode, "analytic");
+  EXPECT_EQ(info.tile_flows.size(), info.grid_rows * info.grid_cols);
+  EXPECT_EQ(info.graph_fingerprint,
+            fingerprint_hex(decision.graph_fingerprint));
+  ASSERT_TRUE(parse_fingerprint_hex(info.config_hash).has_value());
+}
+
+// The router's contract: a routed hybrid run can never be worse than
+// the global-tuned split under measured mode's own metric, because
+// the candidate map must win a head-to-head to displace it.
+TEST(TileRouter, MeasuredNeverWorseThanGlobalTuned) {
+  TileRouter router;
+  const auto w = cora(0.5);
+  const AcceleratorConfig config;
+  const RouteDecision decision =
+      router.route(w, config, RouteMode::kTilesMeasured, 2);
+  ASSERT_NE(decision.map, nullptr);
+  EXPECT_EQ(decision.simulations, 2u);
+  EXPECT_EQ(router.measured_simulations(), 2u);
+
+  const AcceleratorConfig tuned = TileRouter::apply(config, decision);
+  EXPECT_DOUBLE_EQ(tuned.tiling_threshold, decision.global_threshold);
+
+  ExperimentRequest global_request =
+      base_request(*w, Dataflow::kHybrid, tuned);
+  ExperimentRequest routed_request = global_request;
+  routed_request.route = decision.map.get();
+  const ExperimentResult global_run = run_experiment(global_request);
+  const ExperimentResult routed_run = run_experiment(routed_request);
+  EXPECT_LE(routed_run.cycles, global_run.cycles);
+  if (decision.degenerate) {
+    expect_bit_identical(global_run, routed_run, "degenerate verdict");
+  }
+}
+
+TEST(TileRouter, CacheMakesSecondMeasuredRunSkipSimulation) {
+  const std::string path = temp_path("route_cache_skip.json");
+  std::remove(path.c_str());
+  const auto w = cora(0.5);
+  const AcceleratorConfig config;
+
+  RouteDecision first;
+  {
+    TileRouter router(path);
+    first = router.route(w, config, RouteMode::kTilesMeasured, 2);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_EQ(router.measured_simulations(), 2u);
+  }
+
+  // A fresh router bound to the same cache file answers from the
+  // cache with zero simulations and rebuilds the identical map.
+  TileRouter second(path);
+  const RouteDecision repeat =
+      second.route(w, config, RouteMode::kTilesMeasured, 2);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.simulations, 0u);
+  EXPECT_EQ(second.measured_simulations(), 0u);
+  EXPECT_EQ(repeat.degenerate, first.degenerate);
+  EXPECT_DOUBLE_EQ(repeat.global_threshold, first.global_threshold);
+  ASSERT_NE(repeat.map, nullptr);
+  ASSERT_NE(first.map, nullptr);
+  EXPECT_EQ(*repeat.map, *first.map);
+
+  // The analytic verdict is a separate cache key — it must not be
+  // served from the measured entry.
+  const RouteDecision analytic =
+      second.route(w, config, RouteMode::kTilesAnalytic);
+  EXPECT_EQ(analytic.simulations, 0u);
+}
+
+TEST(TileRouter, DecisionIsThreadCountInvariant) {
+  const auto w = cora(0.5);
+  const AcceleratorConfig config;
+  TileRouter serial;    // separate routers: no cache sharing
+  TileRouter parallel;
+  const RouteDecision d1 =
+      serial.route(w, config, RouteMode::kTilesMeasured, 1);
+  const RouteDecision d4 =
+      parallel.route(w, config, RouteMode::kTilesMeasured, 4);
+  EXPECT_EQ(d1.degenerate, d4.degenerate);
+  EXPECT_DOUBLE_EQ(d1.global_threshold, d4.global_threshold);
+  ASSERT_NE(d1.map, nullptr);
+  ASSERT_NE(d4.map, nullptr);
+  EXPECT_EQ(*d1.map, *d4.map);
+
+  // And the routed sweep itself is bit-identical at 1 vs 4 workers.
+  SweepSpec spec;
+  spec.workloads = {w};
+  spec.configs = {TileRouter::apply(config, d1)};
+  spec.routes = {d1.map};
+  spec.flows = {Dataflow::kHybrid};
+  SweepOptions one_worker;
+  one_worker.threads = 1;
+  SweepOptions four_workers;
+  four_workers.threads = 4;
+  const SweepRun run1 = SweepRunner(one_worker).run(spec);
+  const SweepRun run4 = SweepRunner(four_workers).run(spec);
+  ASSERT_EQ(run1.cells.size(), 1u);
+  ASSERT_EQ(run4.cells.size(), 1u);
+  expect_bit_identical(run1.cells.front().result,
+                       run4.cells.front().result, "1 vs 4 workers");
+}
+
+// --- Mode parsing and cache round-trip ---------------------------
+
+TEST(RouteMode, ParsesAndRoundTrips) {
+  EXPECT_EQ(parse_route_mode("global"), RouteMode::kGlobal);
+  EXPECT_EQ(parse_route_mode("tiles"), RouteMode::kTilesAnalytic);
+  EXPECT_EQ(parse_route_mode("tiles:analytic"), RouteMode::kTilesAnalytic);
+  EXPECT_EQ(parse_route_mode("tiles:measured"), RouteMode::kTilesMeasured);
+  EXPECT_FALSE(parse_route_mode("").has_value());
+  EXPECT_FALSE(parse_route_mode("Tiles").has_value());
+  EXPECT_FALSE(parse_route_mode("tiles:").has_value());
+  EXPECT_FALSE(parse_route_mode("tiles:banana").has_value());
+
+  for (const RouteMode mode :
+       {RouteMode::kGlobal, RouteMode::kTilesAnalytic,
+        RouteMode::kTilesMeasured}) {
+    EXPECT_EQ(parse_route_mode(to_string(mode)), mode);
+  }
+}
+
+TEST(TuneCacheRouting, RouteFieldsRoundTripThroughTheFile) {
+  const std::string path = temp_path("route_cache_roundtrip.json");
+  std::remove(path.c_str());
+  TuneCacheEntry entry;
+  entry.graph_fingerprint = 0xaaaabbbbccccddddULL;
+  entry.config_hash = 0x1111222233334444ULL;
+  entry.mode = "route:analytic";
+  entry.threshold = 0.25;
+  entry.cycles = 9876.0;
+  entry.dataset = "CR";
+  entry.route_kind = "tiles";
+  entry.tile = 85;
+  {
+    TuneCache cache(path);
+    cache.insert(entry);
+  }
+  TuneCache reloaded(path);
+  const auto hit = reloaded.lookup(entry.graph_fingerprint,
+                                   entry.config_hash, "route:analytic");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->route_kind, "tiles");
+  EXPECT_EQ(hit->tile, 85u);
+  EXPECT_DOUBLE_EQ(hit->threshold, 0.25);
+}
+
+}  // namespace
+}  // namespace hymm
